@@ -1,0 +1,277 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§7) on the simulated machine, plus real wall-clock
+   micro-benchmarks (Bechamel) of the local leaf kernels and of the
+   compiler itself.
+
+   Usage: main.exe [section ...]
+   Sections: leaf compile fig15a fig15b fig16a fig16b fig16c fig16d
+             headline ablation. No arguments runs everything. *)
+
+module Fig15 = Distal_harness.Fig15
+module Fig16 = Distal_harness.Fig16
+module Figure = Distal_harness.Figure
+module Headline = Distal_harness.Headline
+module Kernels = Distal_tensor.Kernels
+module Dense = Distal_tensor.Dense
+module Rng = Distal_support.Rng
+module Api = Distal.Api
+module Machine = Api.Machine
+
+(* {2 Bechamel micro-benchmarks} *)
+
+let run_bechamel ~name tests =
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name tests) in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table = Distal_support.Table.create ~header:[ "benchmark"; "time/run" ] in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun key ols ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> nan
+      in
+      rows := (key, ns) :: !rows)
+    results;
+  List.iter
+    (fun (key, ns) ->
+      let human =
+        if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else Printf.sprintf "%.1f us" (ns /. 1e3)
+      in
+      Distal_support.Table.add_row table [ key; human ])
+    (List.sort compare !rows);
+  Distal_support.Table.print table;
+  print_newline ()
+
+let leaf_benches () =
+  print_endline "== leaf: local kernel micro-benchmarks (real wall clock) ==";
+  let open Bechamel in
+  let rng = Rng.create 1 in
+  let n = 96 in
+  let b2 = Dense.random rng [| n; n |] and c2 = Dense.random rng [| n; n |] in
+  let b3 = Dense.random rng [| 48; 48; 48 |] in
+  let c3 = Dense.random rng [| 48; 48; 48 |] in
+  let v = Dense.random rng [| 48 |] in
+  let cm = Dense.random rng [| 48; 32 |] and dm = Dense.random rng [| 48; 32 |] in
+  let tests =
+    [
+      Test.make ~name:"gemm-96" (Staged.stage (fun () ->
+          Kernels.gemm ~a:(Dense.create [| n; n |]) ~b:b2 ~c:c2));
+      Test.make ~name:"ttv-48" (Staged.stage (fun () ->
+          Kernels.ttv ~a:(Dense.create [| 48; 48 |]) ~b:b3 ~c:v));
+      Test.make ~name:"ttm-48" (Staged.stage (fun () ->
+          Kernels.ttm ~a:(Dense.create [| 48; 48; 32 |]) ~b:b3 ~c:cm));
+      Test.make ~name:"mttkrp-48" (Staged.stage (fun () ->
+          Kernels.mttkrp ~a:(Dense.create [| 48; 32 |]) ~b:b3 ~c:cm ~d:dm));
+      Test.make ~name:"innerprod-48" (Staged.stage (fun () ->
+          ignore (Kernels.inner_product b3 c3)));
+    ]
+  in
+  run_bechamel ~name:"leaf" tests
+
+let compile_benches () =
+  print_endline "== compile: compiler pipeline micro-benchmarks (real wall clock) ==";
+  let open Bechamel in
+  let machine = Machine.grid [| 4; 4 |] in
+  let p =
+    Api.problem_exn ~machine ~stmt:"A(i,j) = B(i,k) * C(k,j)"
+      ~tensors:
+        [
+          Api.tensor "A" [| 1024; 1024 |] ~dist:"[x,y] -> [x,y]";
+          Api.tensor "B" [| 1024; 1024 |] ~dist:"[x,y] -> [x,y]";
+          Api.tensor "C" [| 1024; 1024 |] ~dist:"[x,y] -> [x,y]";
+        ] ()
+  in
+  let summa =
+    "distribute_onto({i,j}, {io,jo}, {ii,ji}, [4,4]); split(k, ko, ki, 64);\n\
+     reorder(ko, ii, ji, ki); communicate(A, jo); communicate({B,C}, ko);\n\
+     substitute({ii,ji,ki}, gemm)"
+  in
+  let plan = Api.compile_script_exn p ~schedule:summa in
+  let tests =
+    [
+      Test.make ~name:"parse-einsum" (Staged.stage (fun () ->
+          ignore (Distal_ir.Einsum_parser.parse_exn "A(i,l) = B(i,j,k) * C(j,l) * D(k,l)")));
+      Test.make ~name:"parse-schedule" (Staged.stage (fun () ->
+          ignore (Result.get_ok (Distal_ir.Schedule.parse summa))));
+      Test.make ~name:"compile-summa" (Staged.stage (fun () ->
+          ignore (Api.compile_script_exn p ~schedule:summa)));
+      Test.make ~name:"estimate-summa-4x4" (Staged.stage (fun () ->
+          ignore (Api.estimate plan)));
+    ]
+  in
+  run_bechamel ~name:"compile" tests
+
+(* {2 Figures} *)
+
+let strong () =
+  Figure.print (Distal_harness.Strong.gemm ~kind:Machine.Gpu ());
+  Figure.print
+    { (Distal_harness.Strong.gemm ~kind:Machine.Cpu ()) with Figure.id = "strong-cpu" }
+
+let csv () =
+  let dir = "results" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun f -> Printf.printf "wrote %s\n" (Figure.save_csv ~dir f))
+    [
+      Fig15.cpu (); Fig15.gpu (); Fig16.ttv (); Fig16.innerprod (); Fig16.ttm ();
+      Fig16.mttkrp ();
+      Distal_harness.Strong.gemm ~kind:Machine.Gpu ();
+    ]
+
+let fig15a () = Figure.print (Fig15.cpu ())
+let fig15b () = Figure.print (Fig15.gpu ())
+let fig16a () = Figure.print (Fig16.ttv ())
+let fig16b () = Figure.print (Fig16.innerprod ())
+let fig16c () = Figure.print (Fig16.ttm ())
+let fig16d () = Figure.print (Fig16.mttkrp ())
+
+let headline () =
+  let fig15a = Fig15.cpu () in
+  let f16 = (Fig16.ttv (), Fig16.innerprod (), Fig16.ttm (), Fig16.mttkrp ()) in
+  Headline.print (Headline.compute ~fig15a ~fig16:f16 ~nodes:256)
+
+(* {2 Ablations: the design choices DESIGN.md calls out} *)
+
+let ablation () =
+  print_endline "== ablation: scheduling choices for GEMM on 256 GPUs (64 nodes) ==";
+  let module M = Distal_algorithms.Matmul in
+  let n = Fig15.weak_n ~base:20000 ~nodes:64 in
+  let machine = Machine.with_ppn ~kind:Machine.Gpu ~mem_per_proc:16e9 [| 16; 16 |] ~ppn:4 in
+  let table =
+    Distal_support.Table.create ~header:[ "variant"; "time (s)"; "GB moved"; "note" ]
+  in
+  let add name (alg : (M.t, string) result) note =
+    match alg with
+    | Error e -> Distal_support.Table.add_row table [ name; "-"; "-"; e ]
+    | Ok alg ->
+        let s = Api.estimate alg.M.plan in
+        Distal_support.Table.add_row table
+          [
+            name;
+            Printf.sprintf "%.3f" s.Api.Stats.time;
+            Printf.sprintf "%.1f"
+              ((s.Api.Stats.bytes_inter +. s.Api.Stats.bytes_intra) /. 1e9);
+            note;
+          ]
+  in
+  add "summa (broadcasts)" (M.summa ~n ~machine ()) "baseline";
+  add "cannon (rotate)" (M.cannon ~n ~machine) "systolic: no broadcasts";
+  add "pumma (1 rotate)" (M.pumma ~n ~machine) "hybrid";
+  add "summa chunk=tile" (M.summa ~chunks_per_tile:1 ~n ~machine ()) "coarse communicate";
+  add "summa chunk=tile/16" (M.summa ~chunks_per_tile:16 ~n ~machine ())
+    "fine communicate: more msgs, less memory";
+  Distal_support.Table.print table;
+  print_newline ()
+
+(* Figure 9 itself: the six algorithms as (machine, distribution,
+   schedule) triples, each validated against the serial reference. *)
+let fig9 () =
+  print_endline "== fig9: matrix-multiplication algorithms expressible in DISTAL ==";
+  let module M = Distal_algorithms.Matmul in
+  let n = 24 in
+  let m2 = Machine.grid [| 2; 2 |] in
+  let m3 = Machine.grid [| 2; 2; 2 |] in
+  let table =
+    Distal_support.Table.create
+      ~header:[ "algorithm"; "year"; "machine"; "data distribution"; "validated" ]
+  in
+  List.iter
+    (fun alg ->
+      match alg with
+      | Error e -> Distal_support.Table.add_row table [ "?"; "?"; "?"; e; "-" ]
+      | Ok (a : M.t) ->
+          Distal_support.Table.add_row table
+            [
+              a.M.name;
+              string_of_int a.M.year;
+              Machine.to_string a.M.plan.Api.problem.Api.machine;
+              String.concat "  " (List.map (fun (t, d) -> t ^ d) a.M.dists);
+              (match Api.validate a.M.plan with Ok () -> "OK" | Error _ -> "FAIL");
+            ])
+    [
+      M.cannon ~n ~machine:m2;
+      M.pumma ~n ~machine:m2;
+      M.summa ~n ~machine:m2 ();
+      M.johnson ~n ~machine:m3 ();
+      M.solomonik ~n ~machine:m3;
+      M.cosma ~n ~machine:m3 ();
+    ];
+  Distal_support.Table.print table;
+  print_endline "(schedules printed by examples/algorithms_tour.exe)";
+  print_newline ()
+
+(* The auto-scheduler (§9) against the hand schedules of Fig. 9. *)
+let auto () =
+  print_endline "== auto: automatic schedule/format selection vs hand schedules ==";
+  let module Auto = Distal_algorithms.Auto in
+  let module M = Distal_algorithms.Matmul in
+  let module Cost = Distal_machine.Cost_model in
+  let n = 8192 in
+  let procs = 16 in
+  let machine_of grid = Machine.grid ~kind:Machine.Cpu ~mem_per_proc:256e9 grid in
+  let shapes = [ ("A", [| n; n |]); ("B", [| n; n |]); ("C", [| n; n |]) ] in
+  (match
+     Auto.search ~machine_of ~procs ~stmt:"A(i,j) = B(i,k) * C(k,j)" ~shapes ()
+   with
+  | Error e -> Printf.printf "search failed: %s\n" e
+  | Ok cs ->
+      Printf.printf "GEMM n=%d on %d CPUs: %d candidates searched; top three:\n" n procs
+        (List.length cs);
+      List.iteri
+        (fun i c -> if i < 3 then Printf.printf "  %d. %s\n" (i + 1) (Auto.describe c))
+        cs;
+      let summa =
+        Result.get_ok (M.summa ~n ~machine:(machine_of [| 4; 4 |]) ())
+      in
+      let ts = (Api.estimate ~cost:Cost.cpu_distal summa.M.plan).Api.Stats.time in
+      Printf.printf "  hand-written SUMMA on [4,4]: %.3g s\n" ts);
+  (match
+     Auto.best ~machine_of ~procs ~stmt:"A(i,j) = B(i,j,k) * c(k)"
+       ~shapes:[ ("A", [| 4096; 512 |]); ("B", [| 4096; 512; 512 |]); ("c", [| 512 |]) ]
+       ()
+   with
+  | Error e -> Printf.printf "search failed: %s\n" e
+  | Ok best ->
+      Printf.printf "TTV on %d CPUs: auto picks %s\n" procs (Auto.describe best));
+  print_newline ()
+
+let sections =
+  [
+    ("leaf", leaf_benches);
+    ("compile", compile_benches);
+    ("fig9", fig9);
+    ("fig15a", fig15a);
+    ("fig15b", fig15b);
+    ("fig16a", fig16a);
+    ("fig16b", fig16b);
+    ("fig16c", fig16c);
+    ("fig16d", fig16d);
+    ("headline", headline);
+    ("ablation", ablation);
+    ("auto", auto);
+    ("strong", strong);
+    ("csv", csv);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.filter (fun s -> s <> "csv") (List.map fst sections)
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %s (known: %s)\n" name
+            (String.concat ", " (List.map fst sections));
+          exit 1)
+    requested

@@ -1,0 +1,131 @@
+(* distalc — command-line driver for the DISTAL compiler pipeline (Fig. 3).
+
+   Takes a tensor index notation statement, tensor declarations with
+   distributions, a machine grid and a schedule script; prints the
+   scheduled concrete index notation and the generated task-IR program;
+   optionally validates the plan against the serial reference and prints
+   the modeled execution profile.
+
+   Example:
+
+     distalc \
+       --machine 2x2 \
+       --tensor 'A:8x8:[x,y] -> [x,y]' \
+       --tensor 'B:8x8:[x,y] -> [x,y]' \
+       --tensor 'C:8x8:[x,y] -> [x,y]' \
+       --stmt 'A(i,j) = B(i,k) * C(k,j)' \
+       --schedule 'distribute_onto({i,j}, {io,jo}, {ii,ji}, [2,2]);
+                   split(k, ko, ki, 4); reorder(ko, ii, ji, ki);
+                   communicate(A, jo); communicate({B,C}, ko);
+                   substitute({ii,ji,ki}, gemm)' \
+       --validate --estimate *)
+
+module Api = Distal.Api
+module Machine = Api.Machine
+module Stats = Api.Stats
+
+let ( let* ) = Result.bind
+let errf fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let parse_dims s =
+  let parts = String.split_on_char 'x' s in
+  try Ok (Array.of_list (List.map int_of_string parts))
+  with _ -> errf "bad dimension list %S (expected e.g. 2x2)" s
+
+let parse_tensor_decl s =
+  match String.split_on_char ':' s with
+  | [ name; dims; dist ] ->
+      let* shape = if dims = "scalar" then Ok [||] else parse_dims dims in
+      let* dist = Distal_ir.Distnot.parse dist in
+      Ok (Api.tensor_d name shape dist)
+  | _ -> errf "bad tensor declaration %S (expected name:dims:dist)" s
+
+let run_pipeline ~machine_dims ~gpu ~tensors ~stmt ~schedule ~validate ~estimate ~quiet
+    ~emit_legion =
+  let* machine_dims = parse_dims machine_dims in
+  let kind = if gpu then Machine.Gpu else Machine.Cpu in
+  let mem = if gpu then 16e9 else 256e9 in
+  let machine = Machine.grid ~kind ~mem_per_proc:mem machine_dims in
+  let* tensors =
+    List.fold_left
+      (fun acc s ->
+        let* acc = acc in
+        let* t = parse_tensor_decl s in
+        Ok (t :: acc))
+      (Ok []) tensors
+  in
+  let* problem = Api.problem ~machine ~stmt ~tensors:(List.rev tensors) () in
+  let* plan = Api.compile_script problem ~schedule in
+  if not quiet then print_endline (Api.describe plan);
+  if emit_legion then
+    print_endline (Distal_ir.Codegen_legion.emit plan.Api.program);
+  let* () =
+    if validate then begin
+      let* () = Api.validate plan in
+      print_endline "validation: OK (distributed result matches serial reference)";
+      Ok ()
+    end
+    else Ok ()
+  in
+  if estimate then begin
+    let s = Api.estimate plan in
+    Printf.printf "estimate: %s\n" (Stats.to_string s);
+    Printf.printf "estimate: %.2f GFLOP/s across %d processors\n" (Stats.gflops s)
+      (Machine.num_procs machine)
+  end;
+  Ok ()
+
+open Cmdliner
+
+let machine_arg =
+  Arg.(value & opt string "1" & info [ "machine"; "m" ] ~docv:"DIMS"
+         ~doc:"Machine grid, e.g. 2x2 or 4x4x4.")
+
+let gpu_arg = Arg.(value & flag & info [ "gpu" ] ~doc:"GPU processors (16 GB each).")
+
+let tensor_arg =
+  Arg.(value & opt_all string [] & info [ "tensor"; "t" ] ~docv:"DECL"
+         ~doc:"Tensor declaration name:dims:distribution, e.g. 'A:8x8:[x,y] -> [x,y]'. \
+               Use dims 'scalar' for a 0-d tensor. Repeatable.")
+
+let stmt_arg =
+  Arg.(required & opt (some string) None & info [ "stmt"; "s" ] ~docv:"STMT"
+         ~doc:"Tensor index notation statement, e.g. 'A(i,j) = B(i,k) * C(k,j)'.")
+
+let schedule_arg =
+  Arg.(value & opt string "" & info [ "schedule" ] ~docv:"SCRIPT"
+         ~doc:"Schedule script (semicolon-separated commands). Empty compiles the \
+               default single-task program.")
+
+let validate_arg =
+  Arg.(value & flag & info [ "validate" ]
+         ~doc:"Execute on random data and compare against the serial reference.")
+
+let estimate_arg =
+  Arg.(value & flag & info [ "estimate" ] ~doc:"Print the modeled execution profile.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Do not print the generated program.")
+
+let emit_legion_arg =
+  Arg.(value & flag & info [ "emit-legion" ]
+         ~doc:"Print the generated Legion C++ translation unit.")
+
+let cmd =
+  let doc = "compile tensor index notation to a distributed task program" in
+  let run machine_dims gpu tensors stmt schedule validate estimate quiet emit_legion =
+    match
+      run_pipeline ~machine_dims ~gpu ~tensors ~stmt ~schedule ~validate ~estimate
+        ~quiet ~emit_legion
+    with
+    | Ok () -> `Ok ()
+    | Error e -> `Error (false, e)
+  in
+  Cmd.v
+    (Cmd.info "distalc" ~doc)
+    Term.(
+      ret
+        (const run $ machine_arg $ gpu_arg $ tensor_arg $ stmt_arg $ schedule_arg
+       $ validate_arg $ estimate_arg $ quiet_arg $ emit_legion_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/algorithms_tour.ml: Distal Distal_algorithms List Printf Result

@@ -1,0 +1,1 @@
+examples/algorithms_tour.mli:

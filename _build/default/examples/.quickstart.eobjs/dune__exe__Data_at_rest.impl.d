@@ -1,0 +1,1 @@
+examples/data_at_rest.ml: Distal Printf

@@ -1,0 +1,1 @@
+examples/notation_tour.ml: Distal Distal_algorithms Distal_ir Distal_runtime Distal_support List Printf Result String

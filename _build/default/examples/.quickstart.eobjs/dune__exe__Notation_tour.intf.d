@@ -1,0 +1,1 @@
+examples/notation_tour.mli:

@@ -1,0 +1,1 @@
+examples/tensor_decomposition.ml: Distal Distal_algorithms Distal_ir Printf Result

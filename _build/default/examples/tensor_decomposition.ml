@@ -1,0 +1,125 @@
+(* Tensor decomposition building blocks (§7.2's motivating application).
+
+   The TTM and MTTKRP kernels are the workhorses of Tucker and canonical
+   polyadic (CP) tensor decompositions. This example runs one sweep of a
+   CP-ALS-like iteration on a distributed 3-tensor: an MTTKRP against the
+   current factor matrices for each mode, with the 3-tensor kept in place
+   (the algorithm of Ballard et al. the paper implements), plus the TTV
+   and inner-product kernels used to evaluate the fit. Every distributed
+   result is checked against the serial reference.
+
+   Run with: dune exec examples/tensor_decomposition.exe *)
+
+module Api = Distal.Api
+module Machine = Api.Machine
+module Stats = Api.Stats
+module H = Distal_algorithms.Higher_order
+
+let check name plan =
+  match Api.validate plan with
+  | Ok () -> Printf.printf "  %-22s OK\n" name
+  | Error e -> Printf.printf "  %-22s FAILED: %s\n" name e
+
+let report name plan =
+  let s = Api.estimate plan in
+  Printf.printf "  %-22s %d tasks, %.0f KB communicated, %.3g ms modeled\n" name
+    s.Stats.tasks
+    ((s.Stats.bytes_inter +. s.Stats.bytes_intra) /. 1e3)
+    (s.Stats.time *. 1e3)
+
+let () =
+  let i, j, k, rank = 24, 18, 12, 8 in
+  print_endline "One CP-ALS sweep over a distributed 24x18x12 tensor, rank 8,";
+  print_endline "on a 2x2 grid of processors (3-tensor stationary, Ballard et al.):\n";
+  let machine2 = Machine.grid [| 2; 2 |] in
+  (* Mode-1 MTTKRP: A1(i,r) = X(i,j,k) * C2(j,r) * C3(k,r). *)
+  let mode1 = Result.get_ok (H.mttkrp ~i ~j ~k ~l:rank ~machine:machine2) in
+  check "mode-1 mttkrp" mode1.H.plan;
+  report "mode-1 mttkrp" mode1.H.plan;
+  (* Mode-2: the 3-tensor is accessed with j leading. DISTAL compiles the
+     bespoke statement directly instead of transposing the data. *)
+  let mode2_problem =
+    Api.problem_exn ~machine:machine2 ~stmt:"A(j,l) = B(j,i,k) * C(i,l) * D(k,l)"
+      ~tensors:
+        [
+          Api.tensor "A" [| j; rank |] ~dist:"[x,y] -> [x,*]";
+          Api.tensor "B" [| j; i; k |] ~dist:"[x,y,z] -> [x,y]";
+          Api.tensor "C" [| i; rank |] ~dist:"[x,y] -> [*,x]";
+          Api.tensor "D" [| k; rank |] ~dist:"[x,y] -> [*,*]";
+        ]
+      ()
+  in
+  let mode2 =
+    Api.compile_script_exn mode2_problem
+      ~schedule:
+        "distribute_onto({j,i}, {jo,io}, {ji,ii}, [2,2]);\n\
+         communicate({A,B,C,D}, io); substitute({ji,ii,k,l}, mttkrp)"
+  in
+  check "mode-2 mttkrp" mode2;
+  report "mode-2 mttkrp" mode2;
+  (* Fit evaluation pieces: norm of X via inner product, and a TTV
+     contraction against the first factor column. *)
+  let machine1 = Machine.grid [| 4 |] in
+  let norm = Result.get_ok (H.innerprod ~i ~j ~k ~machine:machine1) in
+  check "norm (innerprod)" norm.H.plan;
+  report "norm (innerprod)" norm.H.plan;
+  let ttv = Result.get_ok (H.ttv ~i ~j ~k ~machine:machine1) in
+  check "fit term (ttv)" ttv.H.plan;
+  report "fit term (ttv)" ttv.H.plan;
+  (* A Tucker-style mode product for comparison: TTM against a rank-8
+     factor. *)
+  let ttm = Result.get_ok (H.ttm ~i ~j ~k ~l:rank ~machine:machine1) in
+  check "tucker ttm" ttm.H.plan;
+  report "tucker ttm" ttm.H.plan;
+  print_newline ();
+  (* Fused vs workspace: the precompute command can materialize the
+     Khatri-Rao product in a workspace (CTF's strategy, §7.2 / §8) as a
+     two-stage pipeline; both must agree with the serial reference, and
+     the profile shows what the materialization costs. *)
+  print_endline "Fused MTTKRP vs precomputed Khatri-Rao workspace:";
+  let stmt =
+    Distal_ir.Einsum_parser.parse_exn "A(i,l) = B(i,j,k) * C(j,l) * D(k,l)"
+  in
+  let ws, rewritten =
+    Result.get_ok (Distal_ir.Precompute.split stmt ~factors:[ "C"; "D" ] ~workspace:"W")
+  in
+  let shapes =
+    [ ("A", [| i; rank |]); ("B", [| i; j; k |]); ("C", [| j; rank |]);
+      ("D", [| k; rank |]) ]
+  in
+  let wshape = Distal_ir.Precompute.workspace_shape stmt ~shapes ~workspace_stmt:ws in
+  let pl =
+    Result.get_ok
+      (Api.pipeline_script ~machine:machine2
+         ~tensors:
+           [
+             Api.tensor "A" [| i; rank |] ~dist:"[x,y] -> [x,*]";
+             Api.tensor "B" [| i; j; k |] ~dist:"[x,y,z] -> [x,y]";
+             Api.tensor "C" [| j; rank |] ~dist:"[x,y] -> [*,*]";
+             Api.tensor "D" [| k; rank |] ~dist:"[x,y] -> [*,*]";
+             Api.tensor "W" wshape ~dist:"[x,y,z] -> [*,*]";
+           ]
+         ~stages:
+           [
+             ( Distal_ir.Expr.to_string ws,
+               "divide(j, jo, ji, 2); distribute(jo); communicate({W,C,D}, jo)" );
+             ( Distal_ir.Expr.to_string rewritten,
+               "distribute_onto({i,j}, {io,jo}, {ii,ji}, [2,2]); communicate({A,B,W}, jo)"
+             );
+           ])
+  in
+  (match Api.validate_pipeline pl with
+  | Ok () -> print_endline "  workspace pipeline      OK (same values as fused)"
+  | Error e -> Printf.printf "  workspace pipeline      FAILED: %s\n" e);
+  let sp = Api.estimate_pipeline pl in
+  Printf.printf "  workspace pipeline      %.0f KB communicated, %.3g ms modeled\n"
+    ((sp.Stats.bytes_inter +. sp.Stats.bytes_intra) /. 1e3)
+    (sp.Stats.time *. 1e3);
+  let sf = Api.estimate mode1.H.plan in
+  Printf.printf "  fused mttkrp            %.0f KB communicated, %.3g ms modeled\n"
+    ((sf.Stats.bytes_inter +. sf.Stats.bytes_intra) /. 1e3)
+    (sf.Stats.time *. 1e3);
+  print_newline ();
+  print_endline "All kernels compiled from tensor index notation with bespoke";
+  print_endline "schedules; no kernel was cast to distributed matrix multiplies";
+  print_endline "(the CTF strategy the paper compares against, §7.2)."

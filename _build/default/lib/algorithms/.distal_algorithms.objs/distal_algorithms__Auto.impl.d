@@ -1,0 +1,1 @@
+lib/algorithms/auto.ml: Array Cosma_scheduler Distal Distal_ir Distal_machine Distal_runtime Distal_support List Printf Result String

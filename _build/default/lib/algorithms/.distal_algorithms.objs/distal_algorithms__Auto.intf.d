@@ -1,0 +1,1 @@
+lib/algorithms/auto.mli: Distal Distal_ir Distal_machine Distal_runtime

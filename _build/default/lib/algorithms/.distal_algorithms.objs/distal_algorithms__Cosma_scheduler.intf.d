@@ -1,0 +1,1 @@
+lib/algorithms/cosma_scheduler.mli:

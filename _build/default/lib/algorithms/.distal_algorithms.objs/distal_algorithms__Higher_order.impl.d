@@ -1,0 +1,1 @@
+lib/algorithms/higher_order.ml: Array Distal Distal_ir Distal_machine Printf Result

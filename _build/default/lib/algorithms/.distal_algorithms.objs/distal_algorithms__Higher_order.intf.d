@@ -1,0 +1,1 @@
+lib/algorithms/higher_order.mli: Distal Distal_machine

@@ -1,0 +1,1 @@
+lib/algorithms/matmul.ml: Array Distal Distal_ir Distal_machine Distal_support List Printf Result

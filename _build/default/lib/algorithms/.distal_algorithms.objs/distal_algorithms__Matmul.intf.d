@@ -1,0 +1,1 @@
+lib/algorithms/matmul.mli: Distal Distal_ir Distal_machine

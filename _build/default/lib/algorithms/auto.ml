@@ -1,0 +1,145 @@
+module Api = Distal.Api
+module Machine = Distal_machine.Machine
+module Stats = Distal_runtime.Stats
+module S = Distal_ir.Schedule
+module D = Distal_ir.Distnot
+module Expr = Distal_ir.Expr
+module Kernel_match = Distal_ir.Kernel_match
+module Ints = Distal_support.Ints
+
+type candidate = {
+  dist_vars : Distal_ir.Ident.t list;
+  grid : int array;
+  plan : Distal.Api.plan;
+  stats : Distal_runtime.Stats.t;
+}
+
+let ( let* ) = Result.bind
+
+let rec subsets_of_size k = function
+  | _ when k = 0 -> [ [] ]
+  | [] -> []
+  | x :: rest ->
+      List.map (fun s -> x :: s) (subsets_of_size (k - 1) rest) @ subsets_of_size k rest
+
+let rec factorizations p k =
+  if k = 1 then [ [ p ] ]
+  else
+    List.concat_map
+      (fun (a, rest) -> List.map (fun f -> a :: f) (factorizations rest (k - 1)))
+      (Cosma_scheduler.factor_pairs p)
+
+(* The induced format: each tensor partitioned by the distributed
+   variables that index it; machine dimensions that do not index it
+   either pin the tensor to their 0-face (stored once) or replicate it
+   ([replicate] — trades memory for communication, the 3-D-algorithm
+   tradeoff of §4). Outputs are never replicated. *)
+let induced_dist ~replicate dist_vars (access : Expr.access) =
+  let tensor_axes = List.mapi (fun d _ -> Printf.sprintf "x%d" d) access.indices in
+  let machine_axes =
+    List.map
+      (fun v ->
+        let rec pos d = function
+          | [] -> None
+          | w :: _ when Distal_ir.Ident.equal w v -> Some d
+          | _ :: rest -> pos (d + 1) rest
+        in
+        match pos 0 access.indices with
+        | Some d -> D.Part (Printf.sprintf "x%d" d)
+        | None -> if replicate then D.Bcast else D.Fix 0)
+      dist_vars
+  in
+  [ { D.tensor_axes; machine_axes } ]
+
+let candidate_plan ~machine ~grid ~dist_vars ~replicate ~stmt ~shapes =
+  let parsed = Distal_ir.Einsum_parser.parse_exn stmt in
+  let first_access tn =
+    List.find (fun (a : Expr.access) -> String.equal a.tensor tn)
+      (Expr.stmt_accesses parsed)
+  in
+  let out_name = parsed.Expr.lhs.tensor in
+  let tensors =
+    List.map
+      (fun (tn, shape) ->
+        let replicate = replicate && not (String.equal tn out_name) in
+        Api.tensor_d tn shape (induced_dist ~replicate dist_vars (first_access tn)))
+      shapes
+  in
+  let* problem = Api.problem ~machine ~stmt ~tensors () in
+  let outer = List.map (fun v -> v ^ "_o") dist_vars in
+  let schedule =
+    [
+      S.Distribute_onto
+        {
+          targets = dist_vars;
+          dist = outer;
+          local = List.map (fun v -> v ^ "_i") dist_vars;
+          grid;
+        };
+      S.Communicate (Expr.tensors parsed, List.nth outer (List.length outer - 1));
+    ]
+  in
+  let* plan = Api.compile problem ~schedule in
+  (* Hand the leaf to a substituted kernel when the statement matches. *)
+  match Kernel_match.infer parsed with
+  | None -> Ok plan
+  | Some kernel -> (
+      let inner =
+        List.filter
+          (fun v -> not (List.mem v outer))
+          (Distal_ir.Cin.loop_vars plan.Api.cin)
+      in
+      match Api.compile problem ~schedule:(schedule @ [ S.Substitute (inner, kernel) ]) with
+      | Ok plan -> Ok plan
+      | Error _ -> Ok plan)
+
+let search ?(max_dist_vars = 3) ?cost ~machine_of ~procs ~stmt ~shapes () =
+  let* parsed = Distal_ir.Einsum_parser.parse stmt in
+  let* _ = Distal_ir.Typecheck.check parsed ~shapes in
+  let vars = Expr.index_vars parsed in
+  let* () = if vars = [] then Error "statement has no index variables" else Ok () in
+  let candidates = ref [] in
+  for k = 1 to min max_dist_vars (List.length vars) do
+    List.iter
+      (fun dist_vars ->
+        List.iter
+          (fun factors ->
+            let grid = Array.of_list factors in
+            let machine = machine_of grid in
+            List.iter
+              (fun replicate ->
+                match candidate_plan ~machine ~grid ~dist_vars ~replicate ~stmt ~shapes with
+                | Error _ -> ()
+                | Ok plan -> (
+                    match Api.run ?cost ~mode:Api.Exec.Model plan ~data:[] with
+                    | Error _ -> ()
+                    | Ok r ->
+                        candidates :=
+                          { dist_vars; grid; plan; stats = r.Api.Exec.stats }
+                          :: !candidates))
+              [ false; true ])
+          (factorizations procs k))
+      (subsets_of_size k vars)
+  done;
+  match !candidates with
+  | [] -> Error "no feasible candidate found"
+  | cs ->
+      Ok
+        (List.sort
+           (fun a b ->
+             compare
+               (a.stats.Stats.oom, a.stats.Stats.time)
+               (b.stats.Stats.oom, b.stats.Stats.time))
+           cs)
+
+let best ?max_dist_vars ?cost ~machine_of ~procs ~stmt ~shapes () =
+  let* cs = search ?max_dist_vars ?cost ~machine_of ~procs ~stmt ~shapes () in
+  Ok (List.hd cs)
+
+let describe c =
+  Printf.sprintf "distribute {%s} over %s: %.3g s%s (%d msgs, %.3g GB moved)"
+    (String.concat ", " c.dist_vars)
+    (Ints.to_string c.grid) c.stats.Stats.time
+    (if c.stats.Stats.oom then " OOM" else "")
+    c.stats.Stats.messages
+    ((c.stats.Stats.bytes_inter +. c.stats.Stats.bytes_intra) /. 1e9)

@@ -1,0 +1,49 @@
+(** Automatic schedule and format selection (§9's first future-work
+    avenue, built on the observation that DISTAL's scheduling primitives
+    "provide a mechanism for future work to target when automatically
+    scheduling computations for distribution", §7.2).
+
+    The search enumerates, for a statement and a processor count:
+    - which index variables to distribute (including reduction variables,
+      which induces distributed reductions);
+    - how to factor the processors into a machine grid over them;
+    - the induced data distributions (each tensor partitioned by the
+      distributed variables that index it, fixed to the face of the
+      machine dimensions that do not — the generalized-Johnson layout);
+    - communication aggregated at the innermost distributed loop, and the
+      leaf handed to a substituted kernel when the statement matches one.
+
+    Every candidate is compiled and costed on the simulator; candidates
+    that exceed processor memory are kept but ranked last. *)
+
+type candidate = {
+  dist_vars : Distal_ir.Ident.t list;
+  grid : int array;
+  plan : Distal.Api.plan;
+  stats : Distal_runtime.Stats.t;
+}
+
+val search :
+  ?max_dist_vars:int ->
+  ?cost:Distal_machine.Cost_model.t ->
+  machine_of:(int array -> Distal_machine.Machine.t) ->
+  procs:int ->
+  stmt:string ->
+  shapes:(string * int array) list ->
+  unit ->
+  (candidate list, string) result
+(** Candidates sorted by modeled time (non-OOM first). [machine_of] builds
+    the target machine from a grid (so callers control processor kind,
+    memory and node grouping). *)
+
+val best :
+  ?max_dist_vars:int ->
+  ?cost:Distal_machine.Cost_model.t ->
+  machine_of:(int array -> Distal_machine.Machine.t) ->
+  procs:int ->
+  stmt:string ->
+  shapes:(string * int array) list ->
+  unit ->
+  (candidate, string) result
+
+val describe : candidate -> string

@@ -1,0 +1,59 @@
+type decomposition = {
+  grid : int * int * int;
+  steps : int;
+  comm_per_proc : float;
+}
+
+let factor_pairs p =
+  let rec go a acc = if a > p then acc else if p mod a = 0 then go (a + 1) ((a, p / a) :: acc) else go (a + 1) acc in
+  List.rev (go 1 [])
+
+let best_pair p =
+  List.fold_left
+    (fun (ba, bb) (a, b) -> if abs (a - b) < abs (ba - bb) then (a, b) else (ba, bb))
+    (1, p) (factor_pairs p)
+
+let factor_triples p =
+  List.concat_map
+    (fun (a, rest) -> List.map (fun (b, c) -> (a, b, c)) (factor_pairs rest))
+    (factor_pairs p)
+
+(* Per-processor communication volume of the (g1,g2,g3) decomposition:
+   every processor receives its tiles of A and B, and a g3-way k-split
+   adds a reduction of the C tile. *)
+let comm_bytes ~m ~n ~k (g1, g2, g3) =
+  let f = float_of_int in
+  let a_tile = f m /. f g1 *. (f k /. f g3) in
+  let b_tile = f k /. f g3 *. (f n /. f g2) in
+  let c_tile = f m /. f g1 *. (f n /. f g2) in
+  8.0 *. (a_tile +. b_tile +. (if g3 > 1 then 2.0 *. c_tile else 0.0))
+
+let mem_bytes ~m ~n ~k (g1, g2, g3) =
+  let f = float_of_int in
+  8.0
+  *. ((f m /. f g1 *. (f k /. f g3))
+     +. (f k /. f g3 *. (f n /. f g2))
+     +. (f m /. f g1 *. (f n /. f g2)))
+
+let find ~procs ~m ~n ~k ~mem_per_proc =
+  let candidates = factor_triples procs in
+  let fits g = mem_bytes ~m ~n ~k g <= 0.7 *. mem_per_proc in
+  let pick best g =
+    let c = comm_bytes ~m ~n ~k g in
+    match best with
+    | Some (bc, _) when bc <= c -> best
+    | _ -> Some (c, g)
+  in
+  let best = List.fold_left (fun b g -> if fits g then pick b g else b) None candidates in
+  let (g1, g2, g3), comm =
+    match best with
+    | Some (c, g) -> (g, c)
+    | None ->
+        let a, b = best_pair procs in
+        ((a, b, 1), comm_bytes ~m ~n ~k (a, b, 1))
+  in
+  (* Chunk the local k range so communication pipelines with compute; four
+     chunks per local range matches COSMA's default pipelining depth. *)
+  let local_k = k / max 1 g3 in
+  let steps = max 1 (min 4 local_k) in
+  { grid = (g1, g2, g3); steps; comm_per_proc = comm }

@@ -1,0 +1,27 @@
+(** The COSMA decomposition scheduler (§4.5).
+
+    COSMA [Kwasniewski et al. 2019] computes a near-communication-optimal
+    processor grid and parallelization strategy from the matrix dimensions,
+    processor count and per-processor memory. This module reproduces that
+    decision procedure: it searches the factorizations of [procs] into a
+    3-D grid (g1, g2, g3) minimizing the per-processor communication volume
+    of C = A*B with m x k, k x n inputs, subject to the tiles (plus the
+    replication that a k-split implies) fitting in memory. *)
+
+type decomposition = {
+  grid : int * int * int;  (** (g1, g2, g3): i, j and k splits *)
+  steps : int;  (** sequential chunks of the local k range *)
+  comm_per_proc : float;  (** modeled bytes communicated per processor *)
+}
+
+val find :
+  procs:int -> m:int -> n:int -> k:int -> mem_per_proc:float -> decomposition
+(** Best decomposition; falls back to the most balanced 2-D grid when no
+    3-D split fits in memory. *)
+
+val factor_pairs : int -> (int * int) list
+(** All ordered factorizations p = a * b (used for the 2-D algorithms'
+    grids at non-square processor counts). *)
+
+val best_pair : int -> int * int
+(** The most balanced factor pair (a <= b). *)

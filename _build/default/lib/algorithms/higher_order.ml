@@ -1,0 +1,110 @@
+module Api = Distal.Api
+module Machine = Distal_machine.Machine
+module S = Distal_ir.Schedule
+
+type t = { name : string; plan : Distal.Api.plan; bandwidth_bound : bool }
+
+let ( let* ) = Result.bind
+let errf fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let require_dims machine k name =
+  if Machine.dim machine <> k then
+    errf "%s needs a %d-dimensional machine, got %s" name k (Machine.to_string machine)
+  else Ok ()
+
+let dist1 p =
+  [
+    S.Divide ("i", "io", "ii", p);
+    S.Distribute [ "io" ];
+  ]
+
+let ttv ~i ~j ~k ~machine =
+  let* () = require_dims machine 1 "TTV" in
+  let p = machine.Machine.dims.(0) in
+  let* problem =
+    Api.problem ~machine ~stmt:"A(i,j) = B(i,j,k) * c(k)"
+      ~tensors:
+        [
+          Api.tensor "A" [| i; j |] ~dist:"[x,y] -> [x]";
+          Api.tensor "B" [| i; j; k |] ~dist:"[x,y,z] -> [x]";
+          Api.tensor "c" [| k |] ~dist:"[x] -> [*]";
+        ] ()
+  in
+  let* plan =
+    Api.compile problem
+      ~schedule:
+        (dist1 p
+        @ [ S.Communicate ([ "A"; "B"; "c" ], "io");
+            S.Substitute ([ "ii"; "j"; "k" ], "ttv") ])
+  in
+  Ok { name = "ttv"; plan; bandwidth_bound = true }
+
+let innerprod ~i ~j ~k ~machine =
+  let* () = require_dims machine 1 "Innerprod" in
+  let p = machine.Machine.dims.(0) in
+  let* problem =
+    Api.problem ~machine ~stmt:"a = B(i,j,k) * C(i,j,k)"
+      ~tensors:
+        [
+          Api.tensor "a" [||] ~dist:"[] -> [0]";
+          Api.tensor "B" [| i; j; k |] ~dist:"[x,y,z] -> [x]";
+          Api.tensor "C" [| i; j; k |] ~dist:"[x,y,z] -> [x]";
+        ] ()
+  in
+  let* plan =
+    Api.compile problem
+      ~schedule:
+        (dist1 p
+        @ [ S.Communicate ([ "a"; "B"; "C" ], "io");
+            S.Substitute ([ "ii"; "j"; "k" ], "innerprod") ])
+  in
+  Ok { name = "innerprod"; plan; bandwidth_bound = true }
+
+let ttm ~i ~j ~k ~l ~machine =
+  let* () = require_dims machine 1 "TTM" in
+  let p = machine.Machine.dims.(0) in
+  let* problem =
+    Api.problem ~machine ~stmt:"A(i,j,l) = B(i,j,k) * C(k,l)"
+      ~tensors:
+        [
+          Api.tensor "A" [| i; j; l |] ~dist:"[x,y,z] -> [x]";
+          Api.tensor "B" [| i; j; k |] ~dist:"[x,y,z] -> [x]";
+          Api.tensor "C" [| k; l |] ~dist:"[x,y] -> [*]";
+        ] ()
+  in
+  let* plan =
+    Api.compile problem
+      ~schedule:
+        (dist1 p
+        @ [ S.Communicate ([ "A"; "B"; "C" ], "io");
+            S.Substitute ([ "ii"; "j"; "k"; "l" ], "ttm") ])
+  in
+  Ok { name = "ttm"; plan; bandwidth_bound = false }
+
+let mttkrp ~i ~j ~k ~l ~machine =
+  let* () = require_dims machine 2 "MTTKRP" in
+  let gx = machine.Machine.dims.(0) and gy = machine.Machine.dims.(1) in
+  let* problem =
+    Api.problem ~machine ~stmt:"A(i,l) = B(i,j,k) * C(j,l) * D(k,l)"
+      ~tensors:
+        [
+          (* Ballard et al.: B stationary in 2-D tiles; the output and the
+             factor matrices are replicated along one machine dimension. *)
+          Api.tensor "A" [| i; l |] ~dist:"[x,y] -> [x,*]";
+          Api.tensor "B" [| i; j; k |] ~dist:"[x,y,z] -> [x,y]";
+          Api.tensor "C" [| j; l |] ~dist:"[x,y] -> [*,x]";
+          Api.tensor "D" [| k; l |] ~dist:"[x,y] -> [*,*]";
+        ] ()
+  in
+  let* plan =
+    Api.compile problem
+      ~schedule:
+        [
+          S.Distribute_onto
+            { targets = [ "i"; "j" ]; dist = [ "io"; "jo" ]; local = [ "ii"; "ji" ];
+              grid = [| gx; gy |] };
+          S.Communicate ([ "A"; "B"; "C"; "D" ], "jo");
+          S.Substitute ([ "ii"; "ji"; "k"; "l" ], "mttkrp");
+        ]
+  in
+  Ok { name = "mttkrp"; plan; bandwidth_bound = false }

@@ -1,0 +1,32 @@
+(** The higher-order tensor kernels of §7.2, with the schedules the paper
+    reports: communication-free element-wise TTV, node-then-global
+    reduction inner product, TTM as independent local matrix multiplies,
+    and Ballard et al.'s MTTKRP (3-tensor stationary, factors replicated,
+    reduction into the output).
+
+    Sizes are the per-statement global extents; machines are 1-D grids of
+    [procs] abstract processors except MTTKRP, which uses a 2-D grid. *)
+
+type t = {
+  name : string;
+  plan : Distal.Api.plan;
+  bandwidth_bound : bool;  (** report GB/s rather than GFLOP/s (§7.2) *)
+}
+
+val ttv :
+  i:int -> j:int -> k:int -> machine:Distal_machine.Machine.t -> (t, string) result
+(** [A(i,j) = B(i,j,k) * c(k)] on a 1-D machine. *)
+
+val innerprod :
+  i:int -> j:int -> k:int -> machine:Distal_machine.Machine.t -> (t, string) result
+(** [a = B(i,j,k) * C(i,j,k)] on a 1-D machine. *)
+
+val ttm :
+  i:int -> j:int -> k:int -> l:int -> machine:Distal_machine.Machine.t ->
+  (t, string) result
+(** [A(i,j,l) = B(i,j,k) * C(k,l)] on a 1-D machine. *)
+
+val mttkrp :
+  i:int -> j:int -> k:int -> l:int -> machine:Distal_machine.Machine.t ->
+  (t, string) result
+(** [A(i,l) = B(i,j,k) * C(j,l) * D(k,l)] on a 2-D machine. *)

@@ -1,0 +1,1 @@
+lib/baselines/cosma_ref.ml: Distal Distal_algorithms Distal_machine Result

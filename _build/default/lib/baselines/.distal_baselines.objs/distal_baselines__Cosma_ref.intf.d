@@ -1,0 +1,1 @@
+lib/baselines/cosma_ref.mli: Distal_runtime

@@ -1,0 +1,1 @@
+lib/baselines/ctf.ml: Distal Distal_algorithms Distal_ir Distal_machine Distal_runtime Result

@@ -1,0 +1,1 @@
+lib/baselines/ctf.mli: Distal_runtime

@@ -1,0 +1,1 @@
+lib/baselines/scalapack.ml: Distal Distal_algorithms Distal_machine Distal_runtime Result

@@ -1,0 +1,1 @@
+lib/baselines/scalapack.mli: Distal_runtime

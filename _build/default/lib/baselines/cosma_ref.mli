@@ -1,0 +1,17 @@
+(** The COSMA authors' implementation, as a baseline (§7.1).
+
+    COSMA computes its own near-optimal decomposition (reproduced in
+    {!Distal_algorithms.Cosma_scheduler}) and overlaps communication with
+    computation aggressively. On CPUs it uses all 40 cores of a Lassen
+    node (DISTAL reserves 4 for the Legion runtime, §7.1.1); the
+    "restricted CPUs" variant pins COSMA to the same 36 work cores as
+    DISTAL. On GPUs, COSMA stages data in the larger CPU memory and runs
+    an out-of-core GEMM — reaching the network's full bandwidth but only
+    half of DISTAL's single-node throughput (§7.1.2), and never running
+    out of GPU memory. *)
+
+val gemm_cpu :
+  ?restricted:bool -> nodes:int -> n:int -> unit ->
+  (Distal_runtime.Stats.t, string) result
+
+val gemm_gpu : nodes:int -> n:int -> (Distal_runtime.Stats.t, string) result

@@ -1,0 +1,160 @@
+module Api = Distal.Api
+module Machine = Distal_machine.Machine
+module Cost = Distal_machine.Cost_model
+module Stats = Distal_runtime.Stats
+module M = Distal_algorithms.Matmul
+module Cs = Distal_algorithms.Cosma_scheduler
+module S = Distal_ir.Schedule
+
+let ( let* ) = Result.bind
+
+(* CTF trades single-node utilization for scalability (§7.2.1). *)
+let elementwise_efficiency = 0.5
+let mttkrp_efficiency = 0.5
+
+let grid25 p =
+  let rec go g = if g * g <= p && p mod (g * g) = 0 then (g, g, p / (g * g)) else go (g - 1) in
+  go (int_of_float (sqrt (float_of_int p)))
+
+let gemm ~nodes ~n =
+  (* CTF's 2.5D algorithm over its 4 ranks per node. *)
+  let g, _, c = grid25 (4 * nodes) in
+  let machine = Machine.with_ppn ~kind:Machine.Cpu ~mem_per_proc:64e9 [| g; g; c |] ~ppn:4 in
+  let* alg = M.solomonik ~n ~machine in
+  let* r = Api.run ~mode:Api.Exec.Model ~cost:Cost.cpu_rank_ctf alg.M.plan ~data:[] in
+  Ok r.Api.Exec.stats
+
+(* A rectangular distributed GEMM (m x k) * (k x n) the way CTF's core
+   performs it: SUMMA-style on a balanced 2-D grid, with CTF's cost
+   model. *)
+let rect_gemm ?grid ~procs ~m ~k ~n () =
+  let gx, gy = match grid with Some g -> g | None -> Cs.best_pair procs in
+  let machine = Machine.grid [| gx; gy |] in
+  let* problem =
+    Api.problem ~machine ~stmt:"A(i,j) = B(i,k) * C(k,j)"
+      ~tensors:
+        [
+          Api.tensor "A" [| m; n |] ~dist:"[x,y] -> [x,y]";
+          Api.tensor "B" [| m; k |] ~dist:"[x,y] -> [x,y]";
+          Api.tensor "C" [| k; n |] ~dist:"[x,y] -> [x,y]";
+        ] ()
+  in
+  let chunk = max 1 (k / (gx * 4)) in
+  let* plan =
+    Api.compile problem
+      ~schedule:
+        [
+          S.Distribute_onto
+            { targets = [ "i"; "j" ]; dist = [ "io"; "jo" ]; local = [ "ii"; "ji" ];
+              grid = [| gx; gy |] };
+          S.Split ("k", "ko", "ki", chunk);
+          S.Reorder [ "ko"; "ii"; "ji"; "ki" ];
+          S.Communicate ([ "A" ], "jo");
+          S.Communicate ([ "B"; "C" ], "ko");
+          S.Substitute ([ "ii"; "ji"; "ki" ], "gemm");
+        ]
+  in
+  let* r = Api.run ~mode:Api.Exec.Model ~cost:Cost.cpu_ctf plan ~data:[] in
+  Ok r.Api.Exec.stats
+
+(* Redistribution performed when CTF reshapes a 3-tensor into its matrix
+   layouts: an all-to-all between a mode-0 and a mode-1 partition. *)
+let matricize_cost ~procs ~shape =
+  let machine = Machine.grid [| procs |] in
+  let src = Api.Distnot.parse_exn "[x,y,z] -> [x]" in
+  let dst = Api.Distnot.parse_exn "[x,y,z] -> [y]" in
+  Api.redistribute ~machine ~cost:Cost.cpu_ctf ~shape ~src ~dst ()
+
+(* A local pass over [bytes] of data at a degraded fraction of the node's
+   memory bandwidth, plus [flops] of arithmetic. *)
+let local_pass ~procs ~bytes ~flops ~efficiency =
+  let c = Cost.cpu_ctf in
+  let per_proc_bytes = bytes /. float_of_int procs in
+  let per_proc_flops = flops /. float_of_int procs in
+  let t =
+    max
+      (per_proc_bytes /. (efficiency *. c.Cost.mem_bw))
+      (per_proc_flops /. (efficiency *. c.Cost.compute_rate))
+  in
+  let s = Stats.create () in
+  s.Stats.time <- t;
+  s.Stats.flops <- flops;
+  s.Stats.steps <- 1;
+  s
+
+(* Matricizing in place is a full pass over the tensor even on one node. *)
+let reshape_pass ~procs ~bytes =
+  local_pass ~procs ~bytes:(2.0 *. bytes) ~flops:0.0 ~efficiency:1.0
+
+let ttv ~nodes ~i ~j ~k =
+  let f = float_of_int in
+  let shuffle = matricize_cost ~procs:nodes ~shape:[| i; j; k |] in
+  let compute =
+    local_pass ~procs:nodes
+      ~bytes:(8.0 *. f i *. f j *. f k)
+      ~flops:(2.0 *. f i *. f j *. f k)
+      ~efficiency:elementwise_efficiency
+  in
+  Ok (Stats.add shuffle compute)
+
+let innerprod ~nodes ~i ~j ~k =
+  let f = float_of_int in
+  let compute =
+    local_pass ~procs:nodes
+      ~bytes:(2.0 *. 8.0 *. f i *. f j *. f k)
+      ~flops:(2.0 *. f i *. f j *. f k)
+      ~efficiency:elementwise_efficiency
+  in
+  let c = Cost.cpu_ctf in
+  compute.Stats.time <-
+    compute.Stats.time +. Cost.reduce_time c Cost.Inter ~bytes:8.0 ~contributors:nodes;
+  Ok compute
+
+let ttm ~nodes ~i ~j ~k ~l =
+  let shuffle = matricize_cost ~procs:nodes ~shape:[| i; j; k |] in
+  let* mm = rect_gemm ~procs:nodes ~m:(i * j) ~k ~n:l () in
+  Ok (Stats.add shuffle mm)
+
+let mttkrp ~nodes ~i ~j ~k ~l =
+  let f = float_of_int in
+  let c = Cost.cpu_ctf in
+  (* Form the Khatri-Rao product (j*k) x l. *)
+  let krp =
+    local_pass ~procs:nodes
+      ~bytes:(8.0 *. 2.0 *. f j *. f k *. f l)
+      ~flops:(f j *. f k *. f l)
+      ~efficiency:mttkrp_efficiency
+  in
+  (* Matricize B in place (a local reshaping pass over the big tensor). *)
+  let reshape = reshape_pass ~procs:nodes ~bytes:(8.0 *. f i *. f j *. f k) in
+  (* The matricized product keeps B stationary: each rank multiplies its
+     B rows by the KRP block matching its columns, fetched once, and the
+     i x l partials reduce across the grid — flat but inefficient weak
+     scaling (§7.2.2). *)
+  let gx, gy = Cs.best_pair nodes in
+  let gemm =
+    local_pass ~procs:nodes
+      ~bytes:(8.0 *. f i *. f j *. f k)
+      ~flops:(2.0 *. f i *. f j *. f k *. f l)
+      ~efficiency:1.0
+  in
+  let krp_fetch_bytes = 8.0 *. f j *. f k *. f l /. float_of_int (max 1 gy) in
+  let reduce_partials =
+    Cost.reduce_time c Cost.Inter ~bytes:(8.0 *. f i *. f l /. float_of_int gx)
+      ~contributors:gy
+  in
+  let comm = Stats.create () in
+  comm.Stats.time <-
+    Cost.copy_time c Cost.Inter ~bytes:krp_fetch_bytes +. reduce_partials;
+  comm.Stats.bytes_inter <-
+    (krp_fetch_bytes *. float_of_int nodes)
+    +. (8.0 *. f i *. f l *. float_of_int (gy - 1) /. float_of_int gx);
+  (* The element-wise reduction pass casting MTTKRP to GEMM requires
+     (§7.2.1). *)
+  let reduce =
+    local_pass ~procs:nodes
+      ~bytes:(8.0 *. 2.0 *. f i *. f l)
+      ~flops:(f i *. f l)
+      ~efficiency:mttkrp_efficiency
+  in
+  Ok (Stats.add (Stats.add krp reshape) (Stats.add (Stats.add gemm comm) reduce))

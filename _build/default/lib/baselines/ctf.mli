@@ -1,0 +1,40 @@
+(** Cyclops Tensor Framework baseline (§7).
+
+    CTF supports any tensor contraction by slicing/reshaping tensors into
+    matrices and calling a hand-written 2.5D distributed matrix multiply
+    (§8). This module reproduces that strategy concretely, on our machine
+    and cost models:
+
+    - GEMM: the 2.5D algorithm on CTF's (g, g, c) process grid.
+    - TTV: matricize B to (i*j) x k and run a distributed mat-vec; the
+      matricization costs a redistribution of B (the "unnecessary
+      communication" of §7.2.2).
+    - Innerprod: local dot products plus a global reduction.
+    - TTM: matricize B to (i*j) x k and run a distributed GEMM against C.
+    - MTTKRP: form the Khatri-Rao product C (.) D of shape (j*k) x l, then
+      a distributed GEMM B_(i x jk) x KRP, then the element-wise reduction
+      pass §7.2.1 mentions.
+
+    Single-node inefficiencies the paper measures (CTF "aims at
+    scalability to large core counts rather than fully utilizing the
+    resources on a single node", §7.2.1) appear as efficiency factors on
+    the bandwidth-bound kernels. CPU only, as in the paper. *)
+
+val gemm : nodes:int -> n:int -> (Distal_runtime.Stats.t, string) result
+
+val ttv : nodes:int -> i:int -> j:int -> k:int -> (Distal_runtime.Stats.t, string) result
+
+val innerprod :
+  nodes:int -> i:int -> j:int -> k:int -> (Distal_runtime.Stats.t, string) result
+
+val ttm :
+  nodes:int -> i:int -> j:int -> k:int -> l:int ->
+  (Distal_runtime.Stats.t, string) result
+
+val mttkrp :
+  nodes:int -> i:int -> j:int -> k:int -> l:int ->
+  (Distal_runtime.Stats.t, string) result
+
+val grid25 : int -> int * int * int
+(** CTF's (g, g, c) processor grid: the largest square dividing the
+    processor count, with the remainder as replication depth. *)

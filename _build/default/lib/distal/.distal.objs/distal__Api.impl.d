@@ -1,0 +1,1 @@
+lib/distal/api.ml: Array Distal_ir Distal_machine Distal_runtime Distal_support Distal_tensor List Printf Result String

@@ -1,0 +1,1 @@
+lib/distal/api.mli: Distal_ir Distal_machine Distal_runtime Distal_tensor

@@ -1,0 +1,231 @@
+module Machine = Distal_machine.Machine
+module Cost_model = Distal_machine.Cost_model
+module Dense = Distal_tensor.Dense
+module Rect = Distal_tensor.Rect
+module Expr = Distal_ir.Expr
+module Distnot = Distal_ir.Distnot
+module Schedule = Distal_ir.Schedule
+module Cin = Distal_ir.Cin
+module Lower = Distal_ir.Lower
+module Taskir = Distal_ir.Taskir
+module Einsum_parser = Distal_ir.Einsum_parser
+module Stats = Distal_runtime.Stats
+module Exec = Distal_runtime.Exec
+module Rng = Distal_support.Rng
+
+type tensor = { name : string; shape : int array; dist : Distnot.t }
+
+let tensor name shape ~dist = { name; shape; dist = Distnot.parse_exn dist }
+let tensor_d name shape dist = { name; shape; dist }
+
+type problem = {
+  machine : Machine.t;
+  stmt : Expr.stmt;
+  tensors : tensor list;
+  virtual_grid : int array option;
+}
+
+let ( let* ) = Result.bind
+let errf fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let shapes_of tensors = List.map (fun t -> (t.name, t.shape)) tensors
+
+let problem ?virtual_grid ~machine ~stmt ~tensors () =
+  let dist_machine =
+    match virtual_grid with
+    | None -> machine
+    | Some dims ->
+        Machine.grid ~kind:(Machine.kind machine)
+          ~mem_per_proc:(Machine.mem_per_proc_bytes machine) dims
+  in
+  let* stmt = Einsum_parser.parse stmt in
+  let* _ = Distal_ir.Typecheck.check stmt ~shapes:(shapes_of tensors) in
+  let* () =
+    List.fold_left
+      (fun acc tn ->
+        let* () = acc in
+        if List.exists (fun t -> String.equal t.name tn) tensors then Ok ()
+        else errf "statement uses tensor %s but it was not declared" tn)
+      (Ok ()) (Expr.tensors stmt)
+  in
+  let* () =
+    List.fold_left
+      (fun acc t ->
+        let* () = acc in
+        match
+          Distnot.validate t.dist ~tensor_rank:(Array.length t.shape)
+            ~machine:dist_machine
+        with
+        | Ok () -> Ok ()
+        | Error e -> errf "tensor %s: %s" t.name e)
+      (Ok ()) tensors
+  in
+  Ok { machine; stmt; tensors; virtual_grid }
+
+let or_invalid = function Ok x -> x | Error e -> invalid_arg e
+
+let problem_exn ?virtual_grid ~machine ~stmt ~tensors () =
+  or_invalid (problem ?virtual_grid ~machine ~stmt ~tensors ())
+
+type plan = { problem : problem; cin : Cin.t; program : Taskir.program }
+
+let compile problem ~schedule =
+  let shapes = shapes_of problem.tensors in
+  let* cin = Cin.of_stmt problem.stmt ~shapes in
+  let* cin = Schedule.apply_all cin schedule in
+  let* program = Lower.lower cin ~shapes in
+  Ok { problem; cin; program }
+
+let compile_exn problem ~schedule = or_invalid (compile problem ~schedule)
+
+let compile_script problem ~schedule =
+  let* cmds = Schedule.parse schedule in
+  compile problem ~schedule:cmds
+
+let compile_script_exn problem ~schedule = or_invalid (compile_script problem ~schedule)
+
+let default_cost machine =
+  match Machine.kind machine with
+  | Machine.Cpu -> Cost_model.cpu_distal
+  | Machine.Gpu -> Cost_model.gpu_distal
+
+let spec ?cost plan =
+  let machine = plan.problem.machine in
+  {
+    Exec.machine;
+    cost = (match cost with Some c -> c | None -> default_cost machine);
+    program = plan.program;
+    dists = List.map (fun t -> (t.name, t.dist)) plan.problem.tensors;
+    virtual_grid = plan.problem.virtual_grid;
+  }
+
+let run ?mode ?cost ?trace plan ~data = Exec.execute ?mode ?trace (spec ?cost plan) ~data
+
+let run_exn ?mode ?cost ?trace plan ~data = or_invalid (run ?mode ?cost ?trace plan ~data)
+
+let estimate ?cost plan =
+  match Exec.execute ~mode:Exec.Model (spec ?cost plan) ~data:[] with
+  | Ok r -> r.Exec.stats
+  | Error e -> invalid_arg ("Api.estimate: " ^ e)
+
+let random_inputs ?(seed = 42) plan =
+  let rng = Rng.create seed in
+  let out_name = plan.problem.stmt.lhs.tensor in
+  List.filter_map
+    (fun t ->
+      if String.equal t.name out_name && not plan.problem.stmt.accum then None
+      else Some (t.name, Dense.random rng t.shape))
+    plan.problem.tensors
+
+let validate ?(seed = 42) ?(tol = 1e-7) plan =
+  let data = random_inputs ~seed plan in
+  let* result = run plan ~data in
+  let expected =
+    Exec.serial_reference plan.problem.stmt ~shapes:(shapes_of plan.problem.tensors)
+      ~data
+  in
+  match result.Exec.output with
+  | None -> Error "validate: execution produced no output"
+  | Some got ->
+      if Dense.approx_equal ~tol got expected then Ok ()
+      else
+        errf "distributed result differs from serial reference (max |diff| = %g)"
+          (Dense.max_abs_diff got expected)
+
+let describe plan =
+  Printf.sprintf "concrete index notation:\n  %s\n\ngenerated program:\n%s"
+    (Cin.to_string plan.cin)
+    (Taskir.to_string plan.program)
+
+let input_bytes plan =
+  List.fold_left
+    (fun acc t ->
+      if List.mem t.name (Expr.tensors plan.problem.stmt) then
+        acc +. (8.0 *. float_of_int (Distal_support.Ints.prod t.shape))
+      else acc)
+    0.0 plan.problem.tensors
+
+
+type pipeline = { machine : Machine.t; tensors : tensor list; stages : plan list }
+
+let pipeline ~machine ~tensors ~stages =
+  let* stages =
+    List.fold_left
+      (fun acc (stmt, schedule) ->
+        let* acc = acc in
+        let* p = problem ~machine ~stmt ~tensors () in
+        let* plan = compile p ~schedule in
+        Ok (plan :: acc))
+      (Ok []) stages
+  in
+  Ok { machine; tensors; stages = List.rev stages }
+
+let pipeline_script ~machine ~tensors ~stages =
+  let* stages =
+    List.fold_left
+      (fun acc (stmt, script) ->
+        let* acc = acc in
+        let* cmds = Schedule.parse script in
+        Ok ((stmt, cmds) :: acc))
+      (Ok []) stages
+  in
+  pipeline ~machine ~tensors ~stages:(List.rev stages)
+
+let stage_output (plan : plan) = plan.problem.stmt.Expr.lhs.tensor
+
+let run_pipeline ?cost pl ~data =
+  let* outputs, stats =
+    List.fold_left
+      (fun acc plan ->
+        let* outputs, stats = acc in
+        let data = outputs @ data in
+        let* r = run ?cost plan ~data in
+        match r.Exec.output with
+        | None -> Error "pipeline stage produced no output"
+        | Some out ->
+            Ok
+              ( (stage_output plan, out) :: outputs,
+                Stats.add stats r.Exec.stats ))
+      (Ok ([], Stats.create ()))
+      pl.stages
+  in
+  Ok (List.rev outputs, stats)
+
+let estimate_pipeline ?cost pl =
+  List.fold_left (fun acc plan -> Stats.add acc (estimate ?cost plan)) (Stats.create ())
+    pl.stages
+
+let validate_pipeline ?(seed = 42) ?(tol = 1e-7) pl =
+  (* Random data for every tensor no stage produces. *)
+  let produced = List.map stage_output pl.stages in
+  let rng = Rng.create seed in
+  let data =
+    List.filter_map
+      (fun t ->
+        if List.mem t.name produced then None
+        else Some (t.name, Dense.random rng t.shape))
+      pl.tensors
+  in
+  let* outputs, _ = run_pipeline pl ~data in
+  let shapes = shapes_of pl.tensors in
+  let* _ =
+    List.fold_left
+      (fun acc plan ->
+        let* expected_env = acc in
+        let stmt = plan.problem.stmt in
+        let expected = Exec.serial_reference stmt ~shapes ~data:(expected_env @ data) in
+        let name = stage_output plan in
+        let got = List.assoc name outputs in
+        if Dense.approx_equal ~tol got expected then
+          Ok ((name, expected) :: expected_env)
+        else
+          errf "pipeline stage %s differs from serial reference (max |diff| = %g)"
+            name
+            (Dense.max_abs_diff got expected))
+      (Ok []) pl.stages
+  in
+  Ok ()
+
+let redistribute ~machine ?cost ~shape ~src ~dst () =
+  let cost = match cost with Some c -> c | None -> default_cost machine in
+  Exec.redistribute machine cost ~shape ~src ~dst

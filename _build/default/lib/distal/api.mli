@@ -1,0 +1,160 @@
+(** DISTAL's user-facing API.
+
+    Mirrors the C++ surface of Fig. 2: declare a machine, declare tensors
+    with a format that includes their distribution, write the computation
+    in tensor index notation, schedule it, and run — here on the simulated
+    runtime (see DESIGN.md).
+
+    {[
+      let m = Machine.grid [| 2; 2 |] in
+      let a = Api.tensor "A" [| n; n |] ~dist:"[x,y] -> [x,y]" in
+      let b = Api.tensor "B" [| n; n |] ~dist:"[x,y] -> [x,y]" in
+      let c = Api.tensor "C" [| n; n |] ~dist:"[x,y] -> [x,y]" in
+      let p = Api.problem_exn ~machine:m ~stmt:"A(i,j) = B(i,k) * C(k,j)"
+                ~tensors:[ a; b; c ] in
+      let plan = Api.compile_script_exn p ~schedule:"
+        distribute_onto({i,j}, {io,jo}, {ii,ji}, [2,2]);
+        split(k, ko, ki, 4); reorder(ko, ii, ji, ki);
+        communicate(A, jo); communicate({B,C}, ko);
+        substitute({ii,ji,ki}, gemm)" in
+      let result = Api.run_exn plan ~data
+    ]} *)
+
+module Machine = Distal_machine.Machine
+module Cost_model = Distal_machine.Cost_model
+module Dense = Distal_tensor.Dense
+module Rect = Distal_tensor.Rect
+module Expr = Distal_ir.Expr
+module Distnot = Distal_ir.Distnot
+module Schedule = Distal_ir.Schedule
+module Stats = Distal_runtime.Stats
+module Exec = Distal_runtime.Exec
+
+type tensor = { name : string; shape : int array; dist : Distnot.t }
+
+val tensor : string -> int array -> dist:string -> tensor
+(** Declare a tensor with a distribution in tensor distribution notation
+    (the format language of §3.2). @raise Invalid_argument on a parse
+    error. *)
+
+val tensor_d : string -> int array -> Distnot.t -> tensor
+
+type problem = {
+  machine : Machine.t;
+  stmt : Expr.stmt;
+  tensors : tensor list;
+  virtual_grid : int array option;
+      (** over-decomposition: distributions/launches target this grid and
+          fold onto the machine (see {!Exec.spec}) *)
+}
+
+val problem :
+  ?virtual_grid:int array ->
+  machine:Machine.t ->
+  stmt:string ->
+  tensors:tensor list ->
+  unit ->
+  (problem, string) result
+(** Parse and typecheck a tensor index notation statement against the
+    declared tensors. *)
+
+val problem_exn :
+  ?virtual_grid:int array -> machine:Machine.t -> stmt:string ->
+  tensors:tensor list -> unit -> problem
+
+type plan = {
+  problem : problem;
+  cin : Distal_ir.Cin.t;  (** the scheduled concrete index notation *)
+  program : Distal_ir.Taskir.program;  (** the lowered task IR *)
+}
+
+val compile : problem -> schedule:Schedule.t list -> (plan, string) result
+val compile_exn : problem -> schedule:Schedule.t list -> plan
+val compile_script : problem -> schedule:string -> (plan, string) result
+(** Schedule given as a script (see {!Schedule.parse}). *)
+
+val compile_script_exn : problem -> schedule:string -> plan
+
+val default_cost : Machine.t -> Cost_model.t
+(** {!Cost_model.cpu_distal} or {!Cost_model.gpu_distal} by processor
+    kind. *)
+
+val run :
+  ?mode:Exec.mode ->
+  ?cost:Cost_model.t ->
+  ?trace:Exec.trace_event list ref ->
+  plan ->
+  data:(string * Dense.t) list ->
+  (Exec.result, string) result
+
+val run_exn :
+  ?mode:Exec.mode -> ?cost:Cost_model.t -> ?trace:Exec.trace_event list ref ->
+  plan -> data:(string * Dense.t) list -> Exec.result
+
+val estimate : ?cost:Cost_model.t -> plan -> Stats.t
+(** Performance-model-only execution ({!Exec.Model} mode). *)
+
+val random_inputs : ?seed:int -> plan -> (string * Dense.t) list
+(** Deterministic random data for every tensor of the plan (including the
+    output, for [+=] statements). *)
+
+val validate : ?seed:int -> ?tol:float -> plan -> (unit, string) result
+(** Run the plan on random data and compare against the serial reference
+    interpreter — the end-to-end check that scheduling only affects
+    performance, never results (§3.3). *)
+
+val describe : plan -> string
+(** The scheduled concrete index notation and the generated task-IR
+    pseudo-code. *)
+
+val input_bytes : plan -> float
+(** Total payload bytes of the statement's tensors (for GB/s reporting). *)
+
+
+(** {2 Multi-statement pipelines}
+
+    Kernels run in the context of larger programs (§1): a pipeline chains
+    statements over a shared set of declared tensors, each stage with its
+    own schedule, with earlier stages' outputs feeding later stages. The
+    workspace split of {!Distal_ir.Precompute} produces exactly such
+    pipelines. *)
+
+type pipeline = { machine : Machine.t; tensors : tensor list; stages : plan list }
+
+val pipeline :
+  machine:Machine.t ->
+  tensors:tensor list ->
+  stages:(string * Schedule.t list) list ->
+  (pipeline, string) result
+(** Each stage is a statement and its schedule. A stage may read tensors
+    produced by earlier stages. *)
+
+val pipeline_script :
+  machine:Machine.t ->
+  tensors:tensor list ->
+  stages:(string * string) list ->
+  (pipeline, string) result
+
+val run_pipeline :
+  ?cost:Cost_model.t ->
+  pipeline ->
+  data:(string * Dense.t) list ->
+  ((string * Dense.t) list * Stats.t, string) result
+(** Execute all stages in order; returns every stage's output (by tensor
+    name) and the summed statistics. *)
+
+val estimate_pipeline : ?cost:Cost_model.t -> pipeline -> Stats.t
+
+val validate_pipeline : ?seed:int -> ?tol:float -> pipeline -> (unit, string) result
+(** Run the pipeline on random data and compare every stage output against
+    the serial reference chain. *)
+
+val redistribute :
+  machine:Machine.t ->
+  ?cost:Cost_model.t ->
+  shape:int array ->
+  src:Distnot.t ->
+  dst:Distnot.t ->
+  unit ->
+  Stats.t
+(** Re-exported {!Exec.redistribute} with a default cost model. *)

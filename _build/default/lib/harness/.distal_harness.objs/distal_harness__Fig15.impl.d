@@ -1,0 +1,1 @@
+lib/harness/fig15.ml: Distal Distal_algorithms Distal_baselines Distal_machine Distal_runtime Figure Float List

@@ -1,0 +1,1 @@
+lib/harness/fig15.mli: Figure

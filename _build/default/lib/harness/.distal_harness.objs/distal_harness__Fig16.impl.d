@@ -1,0 +1,1 @@
+lib/harness/fig16.ml: Distal Distal_algorithms Distal_baselines Distal_machine Distal_runtime Figure List

@@ -1,0 +1,1 @@
+lib/harness/fig16.mli: Figure

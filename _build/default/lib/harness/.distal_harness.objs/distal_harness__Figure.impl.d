@@ -1,0 +1,1 @@
+lib/harness/figure.ml: Buffer Distal_support Filename List Printf String

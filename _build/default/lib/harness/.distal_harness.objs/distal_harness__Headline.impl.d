@@ -1,0 +1,1 @@
+lib/harness/headline.ml: Distal_support Figure List Printf String

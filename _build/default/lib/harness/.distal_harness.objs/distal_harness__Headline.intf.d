@@ -1,0 +1,1 @@
+lib/harness/headline.mli: Figure

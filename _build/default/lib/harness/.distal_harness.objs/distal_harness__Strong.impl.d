@@ -1,0 +1,1 @@
+lib/harness/strong.ml: Distal Distal_algorithms Distal_baselines Distal_machine Distal_runtime Figure List Option Printf

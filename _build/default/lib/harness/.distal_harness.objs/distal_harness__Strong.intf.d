@@ -1,0 +1,1 @@
+lib/harness/strong.mli: Distal_machine Figure

@@ -1,0 +1,23 @@
+(** Reproduction of Figure 15: weak-scaling distributed matrix multiply.
+
+    15a (CPUs): DISTAL's six algorithms vs COSMA (full node and restricted
+    to DISTAL's 36 work cores), CTF and ScaLAPACK. One abstract processor
+    per node, initial problem 8192 x 8192 per node.
+
+    15b (GPUs): the same algorithms on four V100s per node vs COSMA's GPU
+    backend; initial problem 20000 x 20000 per node. 3-D algorithms
+    (Johnson, our COSMA) run out of the 16 GB framebuffer at high node
+    counts, as in §7.1.2.
+
+    Both report GFLOP/s per node; weak scaling keeps memory per node
+    constant, so flat lines are perfect scaling. Small [base_n] values let
+    tests run the full sweep quickly. *)
+
+val default_nodes : int list
+(** 1, 2, 4, ..., 256. *)
+
+val cpu : ?nodes:int list -> ?base_n:int -> unit -> Figure.t
+val gpu : ?nodes:int list -> ?base_n:int -> unit -> Figure.t
+
+val weak_n : base:int -> nodes:int -> int
+(** Problem side for weak scaling: area grows with the node count. *)

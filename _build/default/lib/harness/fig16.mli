@@ -1,0 +1,15 @@
+(** Reproduction of Figure 16: weak-scaling higher-order tensor kernels.
+
+    Each sub-figure compares DISTAL on CPUs and GPUs against CTF (CPUs
+    only — the paper could not build CTF's GPU backend). Bandwidth-bound
+    kernels (TTV, Innerprod) report GB/s per node; TTM and MTTKRP report
+    GFLOP/s per node. Sizes weak-scale the mode the schedule distributes,
+    keeping memory per node constant, with per-node baselines chosen like
+    the paper's (just large enough to saturate a node). *)
+
+val default_nodes : int list
+
+val ttv : ?nodes:int list -> ?base_i:int -> ?jk:int -> unit -> Figure.t
+val innerprod : ?nodes:int list -> ?base_i:int -> ?jk:int -> unit -> Figure.t
+val ttm : ?nodes:int list -> ?base_i:int -> ?jk:int -> ?l:int -> unit -> Figure.t
+val mttkrp : ?nodes:int list -> ?base_ij:int -> ?k:int -> ?l:int -> unit -> Figure.t

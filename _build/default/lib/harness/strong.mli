@@ -1,0 +1,13 @@
+(** Strong scaling (extension beyond the paper's weak-scaling evaluation).
+
+    Fixed total problem, growing machine: unlike weak scaling the
+    per-processor work shrinks while communication surfaces grow, so every
+    algorithm eventually hits a communication wall. The experiment shows
+    where each algorithm's wall is and that the 3-D algorithms (which
+    trade memory for communication) push it further — the same tradeoff
+    §4 develops, viewed along the other axis. *)
+
+val gemm :
+  ?nodes:int list -> ?n:int -> kind:Distal_machine.Machine.proc_kind -> unit ->
+  Figure.t
+(** Speedup relative to one node, per algorithm. *)

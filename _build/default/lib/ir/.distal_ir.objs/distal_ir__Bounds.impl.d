@@ -1,0 +1,1 @@
+lib/ir/bounds.ml: Array Distal_tensor Expr List Printf Provenance String

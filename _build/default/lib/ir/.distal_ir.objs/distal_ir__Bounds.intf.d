@@ -1,0 +1,1 @@
+lib/ir/bounds.mli: Distal_tensor Expr Ident Provenance

@@ -1,0 +1,1 @@
+lib/ir/cin.ml: Expr Ident List Printf Provenance String Typecheck

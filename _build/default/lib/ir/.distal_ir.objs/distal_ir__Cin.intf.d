@@ -1,0 +1,1 @@
+lib/ir/cin.mli: Expr Ident Provenance

@@ -1,0 +1,1 @@
+lib/ir/codegen_legion.ml: Array Bounds Buffer Distal_support Distal_tensor Expr Ident List Printf Provenance String Taskir

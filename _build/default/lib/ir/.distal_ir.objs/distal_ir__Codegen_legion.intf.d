@@ -1,0 +1,1 @@
+lib/ir/codegen_legion.mli: Taskir

@@ -1,0 +1,1 @@
+lib/ir/distnot.ml: Array Cin Distal_machine Distal_support Distal_tensor Expr Hashtbl Ident Lexer List Option Printf Provenance Queue Result Schedule String

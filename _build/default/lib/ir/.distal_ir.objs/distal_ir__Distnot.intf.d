@@ -1,0 +1,1 @@
+lib/ir/distnot.mli: Cin Distal_machine Distal_tensor Ident

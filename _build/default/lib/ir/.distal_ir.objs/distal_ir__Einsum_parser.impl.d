@@ -1,0 +1,1 @@
+lib/ir/einsum_parser.ml: Expr Lexer List Printf Result

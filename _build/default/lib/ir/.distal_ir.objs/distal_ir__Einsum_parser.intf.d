@@ -1,0 +1,1 @@
+lib/ir/einsum_parser.mli: Expr

@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Array Ident List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/ir/ident.ml: Printf String

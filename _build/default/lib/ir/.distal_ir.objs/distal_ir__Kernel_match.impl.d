@@ -1,0 +1,1 @@
+lib/ir/kernel_match.ml: Expr Ident List Option Printf String

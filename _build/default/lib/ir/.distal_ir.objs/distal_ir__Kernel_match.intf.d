@@ -1,0 +1,1 @@
+lib/ir/kernel_match.mli: Expr

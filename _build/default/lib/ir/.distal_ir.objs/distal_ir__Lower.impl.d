@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Array Cin Expr List Printf Provenance Result Taskir

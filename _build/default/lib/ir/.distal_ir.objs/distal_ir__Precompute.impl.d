@@ -1,0 +1,1 @@
+lib/ir/precompute.ml: Array Expr List Option Printf String Typecheck

@@ -1,0 +1,1 @@
+lib/ir/precompute.mli: Expr

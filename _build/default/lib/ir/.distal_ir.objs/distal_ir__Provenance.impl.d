@@ -1,0 +1,1 @@
+lib/ir/provenance.ml: Distal_support Hashtbl Ident List Printf Result

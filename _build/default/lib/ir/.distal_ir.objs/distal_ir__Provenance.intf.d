@@ -1,0 +1,1 @@
+lib/ir/provenance.mli: Ident

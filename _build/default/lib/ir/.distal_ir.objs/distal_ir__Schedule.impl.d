@@ -1,0 +1,1 @@
+lib/ir/schedule.ml: Array Cin Distal_support Expr Fun Ident Kernel_match Lexer List Printf Provenance Result String

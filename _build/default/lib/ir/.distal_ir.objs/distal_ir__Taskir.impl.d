@@ -1,0 +1,1 @@
+lib/ir/taskir.ml: Buffer Distal_support Expr Ident List Printf Provenance String

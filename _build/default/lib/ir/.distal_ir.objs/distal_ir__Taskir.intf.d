@@ -1,0 +1,1 @@
+lib/ir/taskir.mli: Expr Ident Provenance

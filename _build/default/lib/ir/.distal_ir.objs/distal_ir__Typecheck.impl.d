@@ -1,0 +1,1 @@
+lib/ir/typecheck.ml: Array Expr Hashtbl Ident List Printf

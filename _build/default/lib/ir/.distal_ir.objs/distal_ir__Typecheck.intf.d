@@ -1,0 +1,1 @@
+lib/ir/typecheck.mli: Expr Ident

@@ -1,0 +1,26 @@
+module Rect = Distal_tensor.Rect
+
+let access_rect prov ~env ~shape (a : Expr.access) =
+  assert (List.length a.indices = Array.length shape);
+  let lo = Array.make (Array.length shape) 0 in
+  let hi = Array.make (Array.length shape) 0 in
+  List.iteri
+    (fun d v ->
+      let l, h = Provenance.interval prov ~env v in
+      lo.(d) <- min l shape.(d);
+      hi.(d) <- min h shape.(d);
+      hi.(d) <- max hi.(d) lo.(d))
+    a.indices;
+  Rect.make ~lo ~hi
+
+let tensor_footprint prov ~env ~stmt ~shape tensor =
+  let rects =
+    List.filter_map
+      (fun (a : Expr.access) ->
+        if String.equal a.tensor tensor then Some (access_rect prov ~env ~shape a)
+        else None)
+      (Expr.stmt_accesses stmt)
+  in
+  match rects with
+  | [] -> invalid_arg (Printf.sprintf "tensor %s is not accessed by the statement" tensor)
+  | r :: rest -> List.fold_left Rect.hull r rest

@@ -1,0 +1,18 @@
+(** Legion C++ code generation.
+
+    The paper's DISTAL emits C++ programs against the Legion runtime
+    (Fig. 1, §6). This backend renders a lowered program as that C++:
+    region creation for every tensor, partitions whose bounds come from
+    the bounds analysis (emitted as closed-form affine expressions in the
+    launch/loop variables, recovered from the provenance graph), the index
+    task launch over the distributed loops, per-iteration region
+    requirements at each communicate point, and a leaf task that calls the
+    substituted kernel or the generated scalar loops.
+
+    The simulator executes the same program directly; this printer exists
+    so the compiler's output artifact can be inspected, tested and
+    compared against the paper's (and because a compiler that never prints
+    code is only half a compiler). *)
+
+val emit : Taskir.program -> string
+(** The complete generated translation unit. *)

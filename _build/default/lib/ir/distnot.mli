@@ -1,0 +1,88 @@
+(** Tensor distribution notation (§3.2, Fig. 4–5).
+
+    A statement [T[x,y] -> M[x,0,*]] maps tensor dimensions onto machine
+    dimensions: tensor dimensions whose name reappears on the machine side
+    are partitioned (blocked) across that machine dimension; remaining
+    machine dimensions either fix the partition to a coordinate ([0]) or
+    broadcast it ([*]).
+
+    Distributions are hierarchical (§3.2 "Hierarchy"): a list of levels,
+    each consuming a consecutive group of machine dimensions, where level
+    [k+1] subdivides the tiles produced by level [k]. A single level is the
+    common case. The textual form separates levels with [;]:
+    ["T[x,y] -> M[x,y]; T[z,w] -> M[z]"]. *)
+
+type axis =
+  | Part of Ident.t  (** blocked partition (the paper's default) *)
+  | Cyclic of Ident.t * int
+      (** block-cyclic partition with the given block size — the
+          alternative partitioning function §3.2 mentions (and the layout
+          ScaLAPACK uses). Textual form: [x%2]. *)
+  | Fix of int
+  | Bcast
+
+type level = { tensor_axes : Ident.t list; machine_axes : axis list }
+
+type t = level list
+
+val parse : string -> (t, string) result
+(** Accepts ["[x,y] -> [x,y,*]"] with optional tensor/machine names before
+    the brackets. *)
+
+val parse_exn : string -> t
+val to_string : t -> string
+
+val validate : t -> tensor_rank:int -> machine:Distal_machine.Machine.t -> (unit, string) result
+(** The validity conditions of §3.2: per level, |X| equals the tensor rank,
+    names are duplicate-free, every machine-side name appears on the tensor
+    side, fixed coordinates are in range; level machine-axis counts sum to
+    the machine's dimensionality. *)
+
+(** {2 Formal semantics (single level)}
+
+    [color_of_point] is the paper's partitioning function P (lifted over
+    non-partitioned dimensions); [procs_of_color] is F, expanding a color to
+    full processor coordinates. Colors are points in the partitioned
+    machine dimensions, listed in machine-dimension order. *)
+
+val color_of_point : level -> shape:int array -> mdims:int array -> int array -> int array
+val procs_of_color : level -> mdims:int array -> int array -> int array list
+
+(** {2 Tiles} *)
+
+val rects_of_proc :
+  t -> shape:int array -> machine:Distal_machine.Machine.t -> int array ->
+  Distal_tensor.Rect.t list
+(** The (possibly many, for cyclic distributions) non-empty tiles of the
+    tensor held by a processor; empty when a fixed dimension excludes the
+    processor from owning any data. *)
+
+val rect_of_proc :
+  t -> shape:int array -> machine:Distal_machine.Machine.t -> int array -> Distal_tensor.Rect.t option
+(** The single tile of a blocked distribution ([None] for excluded
+    processors, and for cyclic owners of several tiles). *)
+
+val tiles :
+  t -> shape:int array -> machine:Distal_machine.Machine.t -> (Distal_tensor.Rect.t * int array list) list
+(** All distinct non-empty tiles with their owner processors. Distinct
+    tiles are pairwise disjoint and jointly cover the tensor; replicated
+    (broadcast) tiles list several owners. *)
+
+val replication_factor : t -> machine:Distal_machine.Machine.t -> int
+(** How many copies of each element the distribution stores (product of the
+    broadcast machine-dimension extents) — drives memory accounting. *)
+
+val bytes_per_proc : t -> shape:int array -> machine:Distal_machine.Machine.t -> float
+(** Largest per-processor footprint of a tensor stored in this
+    distribution. *)
+
+val lower_to_cin :
+  level ->
+  tensor:string ->
+  shape:int array ->
+  machine:Distal_machine.Machine.t ->
+  (Cin.t, string) result
+(** §5.3: translate a (single-level) distribution statement into the
+    concrete index notation data-placement statement that reads the tensor
+    in the described orientation — nested foralls over the tensor and the
+    broadcast machine dimensions, divided, distributed and communicated. *)

@@ -1,0 +1,81 @@
+let ( let* ) = Result.bind
+
+let parse_access lx name =
+  match Lexer.peek lx with
+  | Lexer.Lparen ->
+      ignore (Lexer.next lx);
+      let rec indices acc =
+        match Lexer.next lx with
+        | Lexer.Ident v -> (
+            match Lexer.next lx with
+            | Lexer.Comma -> indices (v :: acc)
+            | Lexer.Rparen -> Ok (List.rev (v :: acc))
+            | t -> Error ("expected ',' or ')' in access, found " ^ Lexer.describe t))
+        | t -> Error ("expected index variable, found " ^ Lexer.describe t)
+      in
+      let* idx = indices [] in
+      Ok { Expr.tensor = name; indices = idx }
+  | _ -> Ok { Expr.tensor = name; indices = [] }
+
+let rec parse_expr lx =
+  let* t = parse_term lx in
+  let rec loop acc =
+    match Lexer.peek lx with
+    | Lexer.Plus ->
+        ignore (Lexer.next lx);
+        let* t = parse_term lx in
+        loop (Expr.Add (acc, t))
+    | Lexer.Minus ->
+        ignore (Lexer.next lx);
+        let* t = parse_term lx in
+        loop (Expr.Sub (acc, t))
+    | _ -> Ok acc
+  in
+  loop t
+
+and parse_term lx =
+  let* f = parse_factor lx in
+  let rec loop acc =
+    match Lexer.peek lx with
+    | Lexer.Star ->
+        ignore (Lexer.next lx);
+        let* f = parse_factor lx in
+        loop (Expr.Mul (acc, f))
+    | _ -> Ok acc
+  in
+  loop f
+
+and parse_factor lx =
+  match Lexer.next lx with
+  | Lexer.Int n -> Ok (Expr.Const (float_of_int n))
+  | Lexer.Float f -> Ok (Expr.Const f)
+  | Lexer.Ident name ->
+      let* a = parse_access lx name in
+      Ok (Expr.Access a)
+  | Lexer.Lparen ->
+      let* e = parse_expr lx in
+      let* () = Lexer.expect lx Lexer.Rparen in
+      Ok e
+  | t -> Error ("expected a tensor access, number or '(', found " ^ Lexer.describe t)
+
+let parse s =
+  let* lx = Lexer.of_string s in
+  let* lhs =
+    match Lexer.next lx with
+    | Lexer.Ident name -> parse_access lx name
+    | t -> Error ("expected output tensor, found " ^ Lexer.describe t)
+  in
+  let* accum =
+    match Lexer.next lx with
+    | Lexer.Equal -> Ok false
+    | Lexer.PlusEqual -> Ok true
+    | t -> Error ("expected '=' or '+=', found " ^ Lexer.describe t)
+  in
+  let* rhs = parse_expr lx in
+  let* () = Lexer.expect lx Lexer.Eof in
+  Ok { Expr.lhs; rhs; accum }
+
+let parse_exn s =
+  match parse s with
+  | Ok stmt -> stmt
+  | Error e -> invalid_arg (Printf.sprintf "einsum parse error in %S: %s" s e)

@@ -1,0 +1,17 @@
+(** Parser for tensor index notation.
+
+    Grammar (an [access] with no parenthesized list is a scalar):
+    {v
+      stmt   := access ("=" | "+=") expr
+      expr   := term (("+" | "-") term)*
+      term   := factor ("*" factor)*
+      factor := number | access | "(" expr ")"
+      access := IDENT [ "(" IDENT ("," IDENT)* ")" ]
+    v}
+
+    Examples: ["A(i,j) = B(i,k) * C(k,j)"], ["a = B(i,j,k) * C(i,j,k)"],
+    ["A(i,l) = B(i,j,k) * C(j,l) * D(k,l)"]. *)
+
+val parse : string -> (Expr.stmt, string) result
+val parse_exn : string -> Expr.stmt
+(** @raise Invalid_argument on parse errors (for tests and examples). *)

@@ -1,0 +1,11 @@
+type t = string
+
+let compare = String.compare
+let equal = String.equal
+let counter = ref 0
+
+let fresh base =
+  incr counter;
+  Printf.sprintf "%s'%d" base !counter
+
+let reset_fresh_counter () = counter := 0

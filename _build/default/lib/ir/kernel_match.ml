@@ -1,0 +1,68 @@
+let errf fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+(* A pattern is the lhs arity and a right-hand spine of accesses whose
+   indices are letters; matching unifies letters with the statement's index
+   variables bijectively. *)
+type pattern = { lhs : string; factors : string list }
+
+let patterns =
+  [
+    ("gemm", { lhs = "ij"; factors = [ "ik"; "kj" ] });
+    ("gemv", { lhs = "i"; factors = [ "ik"; "k" ] });
+    ("ttv", { lhs = "ij"; factors = [ "ijk"; "k" ] });
+    ("ttm", { lhs = "ijl"; factors = [ "ijk"; "kl" ] });
+    ("mttkrp", { lhs = "il"; factors = [ "ijk"; "jl"; "kl" ] });
+    ("innerprod", { lhs = ""; factors = [ "ijk"; "ijk" ] });
+  ]
+
+let rec mul_spine = function
+  | Expr.Mul (a, b) -> Option.bind (mul_spine a) (fun xs ->
+        Option.bind (mul_spine b) (fun ys -> Some (xs @ ys)))
+  | Expr.Access a -> Some [ a ]
+  | _ -> None
+
+let letters s = List.init (String.length s) (fun i -> String.make 1 s.[i])
+
+let match_access subst (a : Expr.access) letter_str =
+  let ls = letters letter_str in
+  if List.length ls <> List.length a.indices then None
+  else
+    List.fold_left2
+      (fun subst l v ->
+        Option.bind subst (fun subst ->
+            match List.assoc_opt l subst with
+            | Some v' -> if Ident.equal v v' then Some subst else None
+            | None ->
+                if List.exists (fun (_, w) -> Ident.equal w v) subst then None
+                else Some ((l, v) :: subst)))
+      (Some subst) ls a.indices
+
+let try_match stmt pat =
+  match mul_spine stmt.Expr.rhs with
+  | None -> None
+  | Some factors ->
+      if List.length factors <> List.length pat.factors then None
+      else
+        let accesses = stmt.Expr.lhs :: factors in
+        let strs = pat.lhs :: pat.factors in
+        let subst =
+          List.fold_left2
+            (fun subst a s -> Option.bind subst (fun subst -> match_access subst a s))
+            (Some []) accesses strs
+        in
+        Option.map (fun _ -> List.map (fun (a : Expr.access) -> a.tensor) accesses) subst
+
+let check stmt ~kernel =
+  match List.assoc_opt kernel patterns with
+  | None -> errf "unknown leaf kernel %s" kernel
+  | Some pat -> (
+      match try_match stmt pat with
+      | Some tensors -> Ok tensors
+      | None ->
+          errf "statement %s does not match the %s kernel pattern"
+            (Expr.to_string stmt) kernel)
+
+let infer stmt =
+  List.find_map
+    (fun (name, pat) -> Option.map (fun _ -> name) (try_match stmt pat))
+    patterns

@@ -1,0 +1,13 @@
+(** Structural matching of statements against substitutable leaf kernels.
+
+    [substitute({ii,ji,ki}, gemm)] is only sound when the statement really
+    is a matrix multiply; this module checks the shape of the expression
+    and the index-variable sharing pattern, mirroring how Fig. 2 can hand
+    the [ii, ji, ki] leaf to [CuBLAS::GeMM]. On success it returns the
+    tensors in the order the local kernel expects (output first). *)
+
+val check : Expr.stmt -> kernel:string -> (string list, string) result
+
+val infer : Expr.stmt -> string option
+(** The leaf kernel this statement matches, if any — used to substitute
+    automatically when the user did not. *)

@@ -1,0 +1,120 @@
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Comma
+  | Star
+  | Percent
+  | Plus
+  | Minus
+  | Equal
+  | PlusEqual
+  | Arrow
+  | Dot
+  | Semi
+  | Eof
+
+type t = { mutable toks : token list }
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let of_string s =
+  let n = String.length s in
+  let toks = ref [] in
+  let err = ref None in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n && !err = None do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '#' then begin
+      (* comment to end of line *)
+      while !i < n && s.[!i] <> '\n' do incr i done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident s.[!i] do incr i done;
+      push (Ident (String.sub s start (!i - start)))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit s.[!i] do incr i done;
+      if !i < n && s.[!i] = '.' then begin
+        incr i;
+        while !i < n && is_digit s.[!i] do incr i done;
+        push (Float (float_of_string (String.sub s start (!i - start))))
+      end
+      else push (Int (int_of_string (String.sub s start (!i - start))))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub s !i 2 else "" in
+      match two with
+      | "+=" -> push PlusEqual; i := !i + 2
+      | "->" -> push Arrow; i := !i + 2
+      | _ -> (
+          (match c with
+          | '(' -> push Lparen
+          | ')' -> push Rparen
+          | '[' -> push Lbracket
+          | ']' -> push Rbracket
+          | '{' -> push Lbrace
+          | '}' -> push Rbrace
+          | ',' -> push Comma
+          | '*' -> push Star
+          | '%' -> push Percent
+          | '+' -> push Plus
+          | '-' -> push Minus
+          | '=' -> push Equal
+          | '.' -> push Dot
+          | ';' -> push Semi
+          | c -> err := Some (Printf.sprintf "unexpected character %C at offset %d" c !i));
+          incr i)
+    end
+  done;
+  match !err with
+  | Some e -> Error e
+  | None -> Ok { toks = List.rev (Eof :: !toks) }
+
+let peek t = match t.toks with [] -> Eof | tok :: _ -> tok
+
+let next t =
+  match t.toks with
+  | [] -> Eof
+  | tok :: rest ->
+      (if tok <> Eof then t.toks <- rest);
+      tok
+
+let describe = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int n -> Printf.sprintf "integer %d" n
+  | Float f -> Printf.sprintf "float %g" f
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Comma -> "','"
+  | Star -> "'*'"
+  | Percent -> "'%'"
+  | Plus -> "'+'"
+  | Minus -> "'-'"
+  | Equal -> "'='"
+  | PlusEqual -> "'+='"
+  | Arrow -> "'->'"
+  | Dot -> "'.'"
+  | Semi -> "';'"
+  | Eof -> "end of input"
+
+let expect t tok =
+  let got = next t in
+  if got = tok then Ok ()
+  else Error (Printf.sprintf "expected %s but found %s" (describe tok) (describe got))

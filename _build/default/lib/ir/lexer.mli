@@ -1,0 +1,38 @@
+(** Hand-written lexer shared by the DSL front ends (tensor index notation,
+    tensor distribution notation and the textual schedule scripts accepted
+    by the [distalc] driver). Menhir is not available in this environment,
+    so parsing is recursive descent over this token stream. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Comma
+  | Star
+  | Percent
+  | Plus
+  | Minus
+  | Equal
+  | PlusEqual
+  | Arrow  (** ["->"] *)
+  | Dot
+  | Semi
+  | Eof
+
+type t
+
+val of_string : string -> (t, string) result
+(** Tokenize; reports the offending character on failure. *)
+
+val peek : t -> token
+val next : t -> token
+(** Returns the current token and advances. *)
+
+val expect : t -> token -> (unit, string) result
+val describe : token -> string

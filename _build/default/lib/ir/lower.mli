@@ -1,0 +1,17 @@
+(** Lowering concrete index notation to the task IR (§6.2).
+
+    - The maximal outermost band of [Distributed] loops becomes one
+      multi-dimensional index task launch ("directly nested distributed
+      loops are flattened into multi-dimensional index task launches").
+      A distributed loop below a sequential loop is rejected.
+    - Each tensor gets exactly one communicate point. A [communicate(T,i)]
+      annotation puts an [Ensure T] at the top of loop [i]'s body; tensors
+      with no annotation default to the innermost position, i.e. an
+      [Ensure] immediately around the leaf (§3.3: "if no communicate
+      command is given, communication will be nested under the inner-most
+      index variable").
+    - Sequential loops are emitted down to the deepest communicate point;
+      anything deeper folds into the leaf (a substituted kernel when the
+      schedule bound one, otherwise interpreted scalar loops). *)
+
+val lower : Cin.t -> shapes:(string * int array) list -> (Taskir.program, string) result

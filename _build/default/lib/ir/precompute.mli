@@ -1,0 +1,36 @@
+(** The [precompute] scheduling transformation (§2: "hoist the computation
+    of a subexpression").
+
+    Our dense setting exposes it at the statement level: a subset of the
+    multiplicative factors of a product statement is hoisted into a
+    workspace tensor indexed by the union of the factors' index variables,
+    and the original statement is rewritten to read the workspace. The two
+    statements then schedule independently (Fig. 14's [where]/workspace
+    production), e.g. hoisting the Khatri-Rao product out of MTTKRP:
+
+    {v
+      A(i,l) = B(i,j,k) * C(j,l) * D(k,l)
+      --precompute {C, D} as W-->
+      W(j,l,k) = C(j,l) * D(k,l)
+      A(i,l)   = B(i,j,k) * W(j,l,k)
+    v}
+
+    The transformation is always sound for product statements because the
+    workspace keeps every index variable of its factors: no summation is
+    moved across the split. *)
+
+val split :
+  Expr.stmt ->
+  factors:string list ->
+  workspace:string ->
+  (Expr.stmt * Expr.stmt, string) result
+(** [split stmt ~factors ~workspace] hoists the accesses of the named
+    tensors. Requirements: the statement's right-hand side is a pure
+    product of accesses; [factors] is a non-empty proper subset of its
+    tensors; [workspace] is a fresh name. Returns the workspace definition
+    and the rewritten statement. *)
+
+val workspace_shape :
+  Expr.stmt -> shapes:(string * int array) list -> workspace_stmt:Expr.stmt -> int array
+(** Shape of the workspace tensor implied by the split, from the original
+    statement's variable extents. *)

@@ -1,0 +1,170 @@
+type def =
+  | Root of int
+  | Outer_of of { parent : Ident.t; count : int }
+  | Inner_of of { parent : Ident.t; inner_size : int }
+  | Fused_of of { first : Ident.t; second : Ident.t }
+  | Rotation_of of { target : Ident.t }
+
+type consumption =
+  | Divided_into of { outer : Ident.t; inner : Ident.t; inner_size : int }
+  | Fused_into of { fused : Ident.t; pos : [ `First | `Second ] }
+  | Rotated_into of { result : Ident.t; by : Ident.t list }
+
+type t = {
+  defs : (Ident.t, def) Hashtbl.t;
+  cons : (Ident.t, consumption) Hashtbl.t;
+  root_order : Ident.t list;
+}
+
+let create roots =
+  let defs = Hashtbl.create 16 in
+  List.iter (fun (v, n) -> Hashtbl.replace defs v (Root n)) roots;
+  { defs; cons = Hashtbl.create 16; root_order = List.map fst roots }
+
+let copy t =
+  { t with defs = Hashtbl.copy t.defs; cons = Hashtbl.copy t.cons }
+
+let mem t v = Hashtbl.mem t.defs v
+let roots t = t.root_order
+
+let rec extent t v =
+  match Hashtbl.find_opt t.defs v with
+  | None -> invalid_arg (Printf.sprintf "Provenance.extent: unknown variable %s" v)
+  | Some (Root n) -> n
+  | Some (Outer_of { count; _ }) -> count
+  | Some (Inner_of { inner_size; _ }) -> inner_size
+  | Some (Fused_of { first; second }) -> extent t first * extent t second
+  | Some (Rotation_of { target }) -> extent t target
+
+let is_live t v = Hashtbl.mem t.defs v && not (Hashtbl.mem t.cons v)
+
+let check_consumable t v =
+  if not (Hashtbl.mem t.defs v) then Error (Printf.sprintf "unknown index variable %s" v)
+  else if Hashtbl.mem t.cons v then
+    Error (Printf.sprintf "index variable %s was already transformed away" v)
+  else Ok ()
+
+let check_new t v =
+  if Hashtbl.mem t.defs v then
+    Error (Printf.sprintf "index variable %s already exists" v)
+  else Ok ()
+
+let ( let* ) = Result.bind
+
+let subdivide t parent ~outer ~inner ~inner_size ~count =
+  let* () = check_consumable t parent in
+  let* () = check_new t outer in
+  let* () = if outer = inner then Error "outer and inner must differ" else check_new t inner in
+  Hashtbl.replace t.defs outer (Outer_of { parent; count });
+  Hashtbl.replace t.defs inner (Inner_of { parent; inner_size });
+  Hashtbl.replace t.cons parent (Divided_into { outer; inner; inner_size });
+  Ok ()
+
+let divide t parent ~outer ~inner ~parts =
+  if parts <= 0 then Error "divide: parts must be positive"
+  else
+    let* () = check_consumable t parent in
+    let n = extent t parent in
+    let inner_size = Distal_support.Ints.ceil_div n parts in
+    subdivide t parent ~outer ~inner ~inner_size ~count:parts
+
+let split t parent ~outer ~inner ~chunk =
+  if chunk <= 0 then Error "split: chunk must be positive"
+  else
+    let* () = check_consumable t parent in
+    let n = extent t parent in
+    let count = Distal_support.Ints.ceil_div n chunk in
+    subdivide t parent ~outer ~inner ~inner_size:chunk ~count
+
+let fuse t ~first ~second ~fused =
+  let* () = check_consumable t first in
+  let* () = check_consumable t second in
+  let* () = check_new t fused in
+  Hashtbl.replace t.defs fused (Fused_of { first; second });
+  Hashtbl.replace t.cons first (Fused_into { fused; pos = `First });
+  Hashtbl.replace t.cons second (Fused_into { fused; pos = `Second });
+  Ok ()
+
+let rotate t ~target ~by ~result =
+  let* () = check_consumable t target in
+  let* () = check_new t result in
+  let* () =
+    List.fold_left
+      (fun acc v ->
+        let* () = acc in
+        if is_live t v then Ok ()
+        else Error (Printf.sprintf "rotate: %s is not a live index variable" v))
+      (Ok ()) by
+  in
+  Hashtbl.replace t.defs result (Rotation_of { target });
+  Hashtbl.replace t.cons target (Rotated_into { result; by });
+  Ok ()
+
+(* Interval analysis. [raw_interval] performs no clipping so that exact
+   point reconstruction can detect guard-excluded boundary iterations;
+   [interval] clips each consumed variable to its extent, which keeps the
+   result a sound (superset) footprint. *)
+
+let rec raw_interval t ~env ~clipped v =
+  match env v with
+  | Some x -> (x, x + 1)
+  | None -> (
+      let res =
+        match Hashtbl.find_opt t.cons v with
+        | None -> (0, extent t v)
+        | Some (Divided_into { outer; inner; inner_size }) ->
+            let lo_o, hi_o = raw_interval t ~env ~clipped outer in
+            let lo_i, hi_i = raw_interval t ~env ~clipped inner in
+            ((lo_o * inner_size) + lo_i, ((hi_o - 1) * inner_size) + hi_i)
+        | Some (Fused_into { fused; pos }) ->
+            let lo_f, hi_f = raw_interval t ~env ~clipped fused in
+            let eb =
+              match Hashtbl.find_opt t.defs fused with
+              | Some (Fused_of { second; _ }) -> extent t second
+              | _ -> assert false
+            in
+            (match pos with
+            | `First -> (lo_f / eb, ((hi_f - 1) / eb) + 1)
+            | `Second ->
+                if hi_f - lo_f >= eb || (hi_f - 1) / eb <> lo_f / eb then (0, eb)
+                else (lo_f mod eb, ((hi_f - 1) mod eb) + 1))
+        | Some (Rotated_into { result; by }) ->
+            let e = extent t v in
+            let pieces = List.map (fun w -> raw_interval t ~env ~clipped w) (result :: by) in
+            if List.for_all (fun (lo, hi) -> hi = lo + 1) pieces then
+              let s = List.fold_left (fun acc (lo, _) -> acc + lo) 0 pieces in
+              let x = ((s mod e) + e) mod e in
+              (x, x + 1)
+            else (0, e)
+      in
+      if clipped then
+        let e = extent t v in
+        let lo = max 0 (fst res) and hi = min e (snd res) in
+        (lo, max lo hi)
+      else res)
+
+let interval t ~env v = raw_interval t ~env ~clipped:true v
+
+let raw_point t ~env v =
+  let lo, hi = raw_interval t ~env ~clipped:false v in
+  if hi = lo + 1 then Some lo else None
+
+let guards_ok t ~env =
+  Hashtbl.fold
+    (fun v _ acc ->
+      acc
+      &&
+      match raw_point t ~env v with
+      | None -> true
+      | Some x -> 0 <= x && x < extent t v)
+    t.defs true
+
+let rec roots_of t v =
+  match Hashtbl.find_opt t.defs v with
+  | None -> []
+  | Some (Root _) -> [ v ]
+  | Some (Outer_of { parent; _ }) | Some (Inner_of { parent; _ }) -> roots_of t parent
+  | Some (Fused_of { first; second }) -> roots_of t first @ roots_of t second
+  | Some (Rotation_of { target }) -> roots_of t target
+
+let derives_from t v ~root = List.mem root (roots_of t v)

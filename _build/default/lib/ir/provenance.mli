@@ -1,0 +1,65 @@
+(** Derivation graph of index variables.
+
+    Scheduling transformations replace loop variables with derived ones
+    (divide and split produce an outer/inner pair, collapse fuses two loops,
+    rotate substitutes a time-shifted variable). This graph records every
+    derivation so that later passes can recover, for any partial assignment
+    of the *currently live* loop variables, the interval of values each
+    original (root) variable can take. That interval analysis is the bounds
+    analysis of §6.2: it yields the hyper-rectangle of tensor coordinates a
+    loop iteration touches, from which the runtime derives partitions and
+    communication.
+
+    Conventions:
+    - divide/split: [parent = outer * inner_size + inner], where divide
+      fixes the number of outer iterations ([parts]) and split fixes the
+      inner chunk size; iterations where a reconstructed variable reaches
+      its parent's extent are guard-excluded (boundary tiles).
+    - collapse: [fused = first * extent second + second].
+    - rotate (§3.3): [target = (result + sum by) mod extent target]. *)
+
+type t
+
+val create : (Ident.t * int) list -> t
+(** Fresh graph with the given root variables and extents. *)
+
+val copy : t -> t
+val mem : t -> Ident.t -> bool
+val extent : t -> Ident.t -> int
+val roots : t -> Ident.t list
+
+val divide :
+  t -> Ident.t -> outer:Ident.t -> inner:Ident.t -> parts:int -> (unit, string) result
+
+val split :
+  t -> Ident.t -> outer:Ident.t -> inner:Ident.t -> chunk:int -> (unit, string) result
+
+val fuse : t -> first:Ident.t -> second:Ident.t -> fused:Ident.t -> (unit, string) result
+
+val rotate :
+  t -> target:Ident.t -> by:Ident.t list -> result:Ident.t -> (unit, string) result
+
+val is_live : t -> Ident.t -> bool
+(** A variable is live when it has been introduced and not yet consumed by a
+    later transformation — i.e. it is an actual loop variable. *)
+
+val interval : t -> env:(Ident.t -> int option) -> Ident.t -> int * int
+(** Possible values of a variable (half-open, clipped to its extent) given
+    values for some live variables. Unbound live variables range over their
+    full extent. *)
+
+val raw_point : t -> env:(Ident.t -> int option) -> Ident.t -> int option
+(** Exact unclipped reconstruction of a variable's value when the
+    environment determines it ([None] otherwise). Values at or above the
+    variable's extent indicate guard-excluded boundary iterations. *)
+
+val guards_ok : t -> env:(Ident.t -> int option) -> bool
+(** Whether every reconstructible variable value is within its extent — the
+    boundary guard of one iteration-space point. Requires an environment
+    binding all live variables. *)
+
+val roots_of : t -> Ident.t -> Ident.t list
+(** Root variables a variable's value contributes to (rotate [by] variables
+    only shift time, so they do not count as contributing). *)
+
+val derives_from : t -> Ident.t -> root:Ident.t -> bool

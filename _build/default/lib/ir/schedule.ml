@@ -1,0 +1,330 @@
+type t =
+  | Divide of Ident.t * Ident.t * Ident.t * int
+  | Split of Ident.t * Ident.t * Ident.t * int
+  | Collapse of Ident.t * Ident.t * Ident.t
+  | Reorder of Ident.t list
+  | Distribute of Ident.t list
+  | Distribute_onto of {
+      targets : Ident.t list;
+      dist : Ident.t list;
+      local : Ident.t list;
+      grid : int array;
+    }
+  | Communicate of string list * Ident.t
+  | Rotate of { target : Ident.t; by : Ident.t list; result : Ident.t }
+  | Parallelize of Ident.t
+  | Substitute of Ident.t list * string
+
+let known_leaf_kernels = [ "gemm"; "gemv"; "ttv"; "ttm"; "mttkrp"; "innerprod" ]
+
+let ( let* ) = Result.bind
+
+let errf fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let require_loop (cin : Cin.t) v =
+  match Cin.find_loop cin v with
+  | Some i -> Ok i
+  | None -> errf "%s is not a loop of the current statement" v
+
+(* Replace the loop at position [pos] with [news] (copying annotations to
+   the first replacement, which keeps e.g. a communicate point attached to
+   a rotated loop). *)
+let splice_loops loops pos news =
+  List.concat (List.mapi (fun i l -> if i = pos then news l else [ l ]) loops)
+
+let subdivide cin i io ii ~f =
+  let* pos = require_loop cin i in
+  let prov = Provenance.copy cin.Cin.prov in
+  let* () = f prov in
+  let loops =
+    splice_loops cin.loops pos (fun (l : Cin.loop) ->
+        [ { l with var = io }; { Cin.var = ii; annots = [] } ])
+  in
+  Ok { cin with Cin.loops; prov }
+
+let apply_reorder (cin : Cin.t) vars =
+  let* positions =
+    List.fold_left
+      (fun acc v ->
+        let* acc = acc in
+        let* p = require_loop cin v in
+        if List.mem_assoc v acc then errf "reorder: duplicate variable %s" v
+        else Ok ((v, p) :: acc))
+      (Ok []) vars
+  in
+  let slots = List.sort compare (List.map snd positions) in
+  let assignment = List.combine slots vars (* slot i gets the i-th listed var *) in
+  let arr = Array.of_list cin.loops in
+  let by_var v = List.find (fun (l : Cin.loop) -> Ident.equal l.var v) cin.loops in
+  List.iter (fun (slot, v) -> arr.(slot) <- by_var v) assignment;
+  Ok { cin with Cin.loops = Array.to_list arr }
+
+let add_annot (cin : Cin.t) v annot =
+  let* _ = require_loop cin v in
+  let loops =
+    List.map
+      (fun (l : Cin.loop) ->
+        if Ident.equal l.var v then { l with Cin.annots = l.annots @ [ annot ] } else l)
+      cin.loops
+  in
+  Ok { cin with Cin.loops }
+
+let rec apply (cin : Cin.t) cmd =
+  match cmd with
+  | Divide (i, io, ii, parts) ->
+      subdivide cin i io ii ~f:(fun p -> Provenance.divide p i ~outer:io ~inner:ii ~parts)
+  | Split (i, io, ii, chunk) ->
+      subdivide cin i io ii ~f:(fun p -> Provenance.split p i ~outer:io ~inner:ii ~chunk)
+  | Collapse (i, j, f) ->
+      let* pi = require_loop cin i in
+      let* pj = require_loop cin j in
+      if pj <> pi + 1 then errf "collapse: %s must be immediately inside %s" j i
+      else
+        let prov = Provenance.copy cin.prov in
+        let* () = Provenance.fuse prov ~first:i ~second:j ~fused:f in
+        let loops =
+          List.concat
+            (List.mapi
+               (fun k (l : Cin.loop) ->
+                 if k = pi then [ { l with Cin.var = f } ]
+                 else if k = pj then []
+                 else [ l ])
+               cin.loops)
+        in
+        Ok { cin with Cin.loops; prov }
+  | Reorder vars -> apply_reorder cin vars
+  | Distribute vars ->
+      List.fold_left
+        (fun acc v ->
+          let* cin = acc in
+          add_annot cin v Cin.Distributed)
+        (Ok cin) vars
+  | Distribute_onto { targets; dist; local; grid } ->
+      let n = List.length targets in
+      if List.length dist <> n || List.length local <> n || Array.length grid <> n then
+        errf "distribute_onto: targets, dist, local and grid must have equal length"
+      else
+        let* cin =
+          List.fold_left
+            (fun acc k ->
+              let* cin = acc in
+              apply cin
+                (Divide (List.nth targets k, List.nth dist k, List.nth local k, grid.(k))))
+            (Ok cin)
+            (List.init n Fun.id)
+        in
+        (* "Reorder loops so each outer divided variable is on the outside"
+           (§3.3): the distributed band moves above every other loop. *)
+        let others =
+          List.filter (fun v -> not (List.mem v dist)) (Cin.loop_vars cin)
+        in
+        let* cin = apply cin (Reorder (dist @ others)) in
+        apply cin (Distribute dist)
+  | Communicate (tensors, v) ->
+      let stmt_tensors = Expr.tensors cin.stmt in
+      let* () =
+        List.fold_left
+          (fun acc tn ->
+            let* () = acc in
+            if List.mem tn stmt_tensors then Ok ()
+            else errf "communicate: tensor %s is not used by the statement" tn)
+          (Ok ()) tensors
+      in
+      List.fold_left
+        (fun acc tn ->
+          let* cin = acc in
+          add_annot cin v (Cin.Communicate tn))
+        (Ok cin) tensors
+  | Rotate { target; by; result } ->
+      let* pt = require_loop cin target in
+      let* () =
+        List.fold_left
+          (fun acc v ->
+            let* () = acc in
+            let* pv = require_loop cin v in
+            if pv < pt then Ok ()
+            else errf "rotate: %s must enclose the target loop %s" v target)
+          (Ok ()) by
+      in
+      let prov = Provenance.copy cin.prov in
+      let* () = Provenance.rotate prov ~target ~by ~result in
+      let loops = splice_loops cin.loops pt (fun l -> [ { l with Cin.var = result } ]) in
+      Ok { cin with Cin.loops; prov }
+  | Parallelize v -> add_annot cin v Cin.Parallelized
+  | Substitute (vars, kernel) -> (
+      if not (List.mem kernel known_leaf_kernels) then
+        errf "substitute: unknown leaf kernel %s (known: %s)" kernel
+          (String.concat ", " known_leaf_kernels)
+      else
+        match Kernel_match.check cin.stmt ~kernel with
+        | Error e -> errf "substitute: %s" e
+        | Ok _ ->
+            let k = List.length vars in
+            let nloops = List.length cin.loops in
+            if k = 0 || k > nloops then errf "substitute: bad variable list"
+            else
+              let innermost =
+                List.filteri (fun i _ -> i >= nloops - k) (Cin.loop_vars cin)
+              in
+              if List.sort compare innermost <> List.sort compare vars then
+                errf "substitute: {%s} are not the innermost loops (innermost are {%s})"
+                  (String.concat "," vars) (String.concat "," innermost)
+              else Ok { cin with Cin.substituted = Some (vars, kernel) })
+
+let to_string = function
+  | Divide (i, io, ii, p) -> Printf.sprintf "divide(%s, %s, %s, %d)" i io ii p
+  | Split (i, io, ii, c) -> Printf.sprintf "split(%s, %s, %s, %d)" i io ii c
+  | Collapse (i, j, f) -> Printf.sprintf "collapse(%s, %s, %s)" i j f
+  | Reorder vs -> Printf.sprintf "reorder(%s)" (String.concat ", " vs)
+  | Distribute vs -> Printf.sprintf "distribute(%s)" (String.concat ", " vs)
+  | Distribute_onto { targets; dist; local; grid } ->
+      Printf.sprintf "distribute_onto({%s}, {%s}, {%s}, %s)" (String.concat "," targets)
+        (String.concat "," dist) (String.concat "," local)
+        (Distal_support.Ints.to_string grid)
+  | Communicate (ts, v) -> Printf.sprintf "communicate({%s}, %s)" (String.concat "," ts) v
+  | Rotate { target; by; result } ->
+      Printf.sprintf "rotate(%s, {%s}, %s)" target (String.concat "," by) result
+  | Parallelize v -> Printf.sprintf "parallelize(%s)" v
+  | Substitute (vs, k) -> Printf.sprintf "substitute({%s}, %s)" (String.concat "," vs) k
+
+let apply_all cin cmds =
+  List.fold_left
+    (fun acc cmd ->
+      let* cin = acc in
+      match apply cin cmd with
+      | Ok cin -> Ok cin
+      | Error e -> errf "%s: %s" (to_string cmd) e)
+    (Ok cin) cmds
+
+(* {2 Schedule script parser} *)
+
+let parse_int lx =
+  match Lexer.next lx with
+  | Lexer.Int n -> Ok n
+  | t -> Error ("expected an integer, found " ^ Lexer.describe t)
+
+let parse_ident lx =
+  match Lexer.next lx with
+  | Lexer.Ident v -> Ok v
+  | t -> Error ("expected an identifier, found " ^ Lexer.describe t)
+
+(* Comma-separated identifiers wrapped in braces, or a single identifier. *)
+let parse_ident_set lx =
+  match Lexer.peek lx with
+  | Lexer.Lbrace ->
+      ignore (Lexer.next lx);
+      let rec go acc =
+        let* v = parse_ident lx in
+        match Lexer.next lx with
+        | Lexer.Comma -> go (v :: acc)
+        | Lexer.Rbrace -> Ok (List.rev (v :: acc))
+        | t -> Error ("expected ',' or '}', found " ^ Lexer.describe t)
+      in
+      go []
+  | _ ->
+      let* v = parse_ident lx in
+      Ok [ v ]
+
+let parse_int_list lx =
+  let* () = Lexer.expect lx Lexer.Lbracket in
+  let rec go acc =
+    let* n = parse_int lx in
+    match Lexer.next lx with
+    | Lexer.Comma -> go (n :: acc)
+    | Lexer.Rbracket -> Ok (Array.of_list (List.rev (n :: acc)))
+    | t -> Error ("expected ',' or ']', found " ^ Lexer.describe t)
+  in
+  go []
+
+let comma lx = Lexer.expect lx Lexer.Comma
+
+let parse_command lx name =
+  let* () = Lexer.expect lx Lexer.Lparen in
+  let* cmd =
+    match name with
+    | "divide" | "split" ->
+        let* i = parse_ident lx in
+        let* () = comma lx in
+        let* io = parse_ident lx in
+        let* () = comma lx in
+        let* ii = parse_ident lx in
+        let* () = comma lx in
+        let* n = parse_int lx in
+        Ok (if name = "divide" then Divide (i, io, ii, n) else Split (i, io, ii, n))
+    | "collapse" ->
+        let* i = parse_ident lx in
+        let* () = comma lx in
+        let* j = parse_ident lx in
+        let* () = comma lx in
+        let* f = parse_ident lx in
+        Ok (Collapse (i, j, f))
+    | "reorder" | "distribute" ->
+        let rec go acc =
+          let* v = parse_ident lx in
+          match Lexer.peek lx with
+          | Lexer.Comma ->
+              ignore (Lexer.next lx);
+              go (v :: acc)
+          | _ -> Ok (List.rev (v :: acc))
+        in
+        let* first = match Lexer.peek lx with
+          | Lexer.Lbrace ->
+              ignore (Lexer.next lx);
+              let rec braced acc =
+                let* v = parse_ident lx in
+                match Lexer.next lx with
+                | Lexer.Comma -> braced (v :: acc)
+                | Lexer.Rbrace -> Ok (List.rev (v :: acc))
+                | t -> Error ("expected ',' or '}', found " ^ Lexer.describe t)
+              in
+              braced []
+          | _ -> go []
+        in
+        Ok (if name = "reorder" then Reorder first else Distribute first)
+    | "distribute_onto" ->
+        let* targets = parse_ident_set lx in
+        let* () = comma lx in
+        let* dist = parse_ident_set lx in
+        let* () = comma lx in
+        let* local = parse_ident_set lx in
+        let* () = comma lx in
+        let* grid = parse_int_list lx in
+        Ok (Distribute_onto { targets; dist; local; grid })
+    | "communicate" ->
+        let* tensors = parse_ident_set lx in
+        let* () = comma lx in
+        let* v = parse_ident lx in
+        Ok (Communicate (tensors, v))
+    | "rotate" ->
+        let* target = parse_ident lx in
+        let* () = comma lx in
+        let* by = parse_ident_set lx in
+        let* () = comma lx in
+        let* result = parse_ident lx in
+        Ok (Rotate { target; by; result })
+    | "parallelize" ->
+        let* v = parse_ident lx in
+        Ok (Parallelize v)
+    | "substitute" ->
+        let* vars = parse_ident_set lx in
+        let* () = comma lx in
+        let* kernel = parse_ident lx in
+        Ok (Substitute (vars, kernel))
+    | other -> errf "unknown scheduling command %s" other
+  in
+  let* () = Lexer.expect lx Lexer.Rparen in
+  Ok cmd
+
+let parse s =
+  let* lx = Lexer.of_string s in
+  let rec go acc =
+    match Lexer.next lx with
+    | Lexer.Eof -> Ok (List.rev acc)
+    | Lexer.Semi -> go acc
+    | Lexer.Dot -> go acc (* tolerate the fluent ".divide(...)" style of Fig. 2 *)
+    | Lexer.Ident name ->
+        let* cmd = parse_command lx name in
+        go (cmd :: acc)
+    | t -> Error ("expected a scheduling command, found " ^ Lexer.describe t)
+  in
+  go []

@@ -1,0 +1,70 @@
+type leaf =
+  | Scalar_loops of Ident.t list
+  | Named of { kernel : string; vars : Ident.t list }
+
+type t =
+  | Launch of { vars : Ident.t list; dims : int array; body : t }
+  | Seq_loop of { var : Ident.t; extent : int; body : t }
+  | Ensure of { tensor : string; body : t }
+  | Leaf of leaf
+
+type program = {
+  stmt : Expr.stmt;
+  prov : Provenance.t;
+  tree : t;
+  shapes : (string * int array) list;
+  parallel_vars : Ident.t list;
+}
+
+let shape_of p tensor =
+  match List.assoc_opt tensor p.shapes with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Taskir.shape_of: unknown tensor %s" tensor)
+
+let launch p =
+  match p.tree with
+  | Launch { vars; dims; _ } -> (vars, dims)
+  | _ -> invalid_arg "Taskir.launch: program not rooted at a launch"
+
+let rec leaf_vars = function
+  | Launch { body; _ } | Seq_loop { body; _ } | Ensure { body; _ } -> leaf_vars body
+  | Leaf (Scalar_loops vars) -> vars
+  | Leaf (Named { vars; _ }) -> vars
+
+let to_string p =
+  let buf = Buffer.create 256 in
+  let pad depth = String.make (2 * depth) ' ' in
+  let rec go depth = function
+    | Launch { vars; dims; body } ->
+        if vars = [] then
+          Buffer.add_string buf (pad depth ^ "task() {  // single task\n")
+        else
+          Buffer.add_string buf
+            (Printf.sprintf "%sindex_task_launch (%s) over %s {\n" (pad depth)
+               (String.concat ", " vars)
+               (Distal_support.Ints.to_string dims));
+        go (depth + 1) body;
+        Buffer.add_string buf (pad depth ^ "}\n")
+    | Seq_loop { var; extent; body } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%sfor %s in [0, %d) {\n" (pad depth) var extent);
+        go (depth + 1) body;
+        Buffer.add_string buf (pad depth ^ "}\n")
+    | Ensure { tensor; body } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%sensure %s[footprint]  // copy from owner partition\n"
+             (pad depth) tensor);
+        go depth body
+    | Leaf (Scalar_loops vars) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%sleaf: forall (%s) { %s }\n" (pad depth)
+             (String.concat ", " vars)
+             (Expr.to_string p.stmt))
+    | Leaf (Named { kernel; vars }) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%sleaf: %s(%s)  // substituted local kernel\n" (pad depth)
+             kernel (String.concat ", " vars))
+  in
+  Buffer.add_string buf (Printf.sprintf "// %s\n" (Expr.to_string p.stmt));
+  go 0 p.tree;
+  Buffer.contents buf

@@ -1,0 +1,40 @@
+(** Task IR — the Legion-shaped program the compiler emits (§6.2).
+
+    Distributed loops become an index task launch over a multi-dimensional
+    grid of tasks; sequential loops remain loops inside each task; each
+    communicate point becomes an [Ensure] that materializes the footprint
+    (a bounds-analysis rect) of one tensor in the executing processor's
+    memory before the enclosed work runs; the innermost band is a leaf —
+    either interpreted scalar loops or a substituted local kernel. *)
+
+type leaf =
+  | Scalar_loops of Ident.t list
+      (** Remaining loop variables, outermost first, interpreted pointwise
+          with boundary guards. *)
+  | Named of { kernel : string; vars : Ident.t list }
+      (** A substituted kernel over the listed innermost variables. *)
+
+type t =
+  | Launch of { vars : Ident.t list; dims : int array; body : t }
+  | Seq_loop of { var : Ident.t; extent : int; body : t }
+  | Ensure of { tensor : string; body : t }
+  | Leaf of leaf
+
+type program = {
+  stmt : Expr.stmt;
+  prov : Provenance.t;
+  tree : t;  (** always rooted at a [Launch] (possibly zero-dimensional) *)
+  shapes : (string * int array) list;
+  parallel_vars : Ident.t list;
+      (** loops marked [parallelize] — intra-processor parallelism (cores
+          or thread blocks); backends emit them as parallel loops *)
+}
+
+val shape_of : program -> string -> int array
+val launch : program -> Ident.t list * int array
+val leaf_vars : t -> Ident.t list
+(** Variables iterated by the leaf of the tree. *)
+
+val to_string : program -> string
+(** Pseudo-code rendering of the generated program, for the [distalc]
+    driver and golden tests. *)

@@ -1,0 +1,43 @@
+let check stmt ~shapes =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let exception Fail of string in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt in
+  try
+    let extents : (Ident.t, int) Hashtbl.t = Hashtbl.create 8 in
+    let rhs_tensors =
+      List.map (fun (a : Expr.access) -> a.tensor) (Expr.accesses stmt.Expr.rhs)
+    in
+    if List.mem stmt.lhs.tensor rhs_tensors then
+      fail "output tensor %s also appears on the right-hand side" stmt.lhs.tensor;
+    List.iter
+      (fun (a : Expr.access) ->
+        let shape =
+          match List.assoc_opt a.tensor shapes with
+          | Some s -> s
+          | None -> fail "tensor %s has no declared shape" a.tensor
+        in
+        if List.length a.indices <> Array.length shape then
+          fail "tensor %s has rank %d but is accessed with %d indices" a.tensor
+            (Array.length shape) (List.length a.indices);
+        let seen = Hashtbl.create 4 in
+        List.iteri
+          (fun d v ->
+            if Hashtbl.mem seen v then
+              fail "index variable %s appears twice in access %s" v
+                (Expr.access_to_string a);
+            Hashtbl.add seen v ();
+            match Hashtbl.find_opt extents v with
+            | None -> Hashtbl.add extents v shape.(d)
+            | Some e ->
+                if e <> shape.(d) then
+                  fail "index variable %s has conflicting extents %d and %d" v e
+                    shape.(d))
+          a.indices)
+      (Expr.stmt_accesses stmt);
+    Ok (List.map (fun v -> (v, Hashtbl.find extents v)) (Expr.index_vars stmt))
+  with Fail msg -> err "%s" msg
+
+let check_exn stmt ~shapes =
+  match check stmt ~shapes with
+  | Ok env -> env
+  | Error e -> invalid_arg ("typecheck: " ^ e)

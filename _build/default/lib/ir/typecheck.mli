@@ -1,0 +1,16 @@
+(** Validation of tensor index notation against tensor shapes.
+
+    Checks performed:
+    - every tensor is used with a single arity matching its declared shape;
+    - each index variable has one consistent extent across all its uses;
+    - no index variable appears twice in one access (diagonal accesses such
+      as [A(i,i)] are out of scope for DISTAL's dense lowering);
+    - the output tensor does not also appear on the right-hand side.
+
+    On success, returns the extent of every index variable — the iteration
+    space (§3.3) is their Cartesian product. *)
+
+val check :
+  Expr.stmt -> shapes:(string * int array) list -> ((Ident.t * int) list, string) result
+
+val check_exn : Expr.stmt -> shapes:(string * int array) list -> (Ident.t * int) list

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Distal_support List Printf

@@ -1,0 +1,164 @@
+type link = Intra | Inter
+
+type duplex = Full | Half
+
+type t = {
+  name : string;
+  alpha_intra : float;
+  alpha_inter : float;
+  beta_intra : float;
+  beta_inter : float;
+  compute_rate : float;
+  mem_bw : float;
+  overlap : float;
+  task_overhead : float;
+  rack_nodes : int;
+  rack_uplink : float;
+  duplex : duplex;
+}
+
+let combine_sr t ~send ~recv =
+  match t.duplex with Full -> max send recv | Half -> send +. recv
+
+let fabric_time t ~cross_rack_bytes ~racks =
+  if racks <= 1 then 0.0 else cross_rack_bytes /. (t.rack_uplink *. float_of_int racks)
+
+let alpha t = function Intra -> t.alpha_intra | Inter -> t.alpha_inter
+let beta t = function Intra -> t.beta_intra | Inter -> t.beta_inter
+let copy_time t link ~bytes = alpha t link +. (bytes /. beta t link)
+
+let collective_factor k =
+  if k <= 1 then 0.0 else ceil (log (float_of_int k) /. log 2.0)
+
+(* Large-message collectives are bandwidth-optimal (scatter/allgather style,
+   van de Geijn): the latency term grows with the tree depth but the
+   bandwidth term is ~2x a point-to-point transfer regardless of fan-out.
+   This matters for reproducing the paper's GPU results: Cannon's systolic
+   shifts (pure point-to-point) beat SUMMA's broadcasts by a constant
+   factor, not by log p (§7.1.2). *)
+
+(* In a scatter/allgather broadcast every participant forwards data, so
+   receivers carry a send occupancy of ~bytes as well — harmless on
+   full-duplex links, costly on the half-duplex framebuffer path (this is
+   why systolic schedules beat broadcast schedules at scale, §7.1.2). *)
+let broadcast_participant_send t link ~bytes ~receivers =
+  if receivers <= 1 then 0.0
+  else
+    let k = float_of_int receivers in
+    (k -. 1.0) /. k *. bytes /. beta t link
+
+let broadcast_time t link ~bytes ~receivers =
+  if receivers <= 0 then 0.0
+  else
+    let k = float_of_int receivers in
+    (collective_factor (receivers + 1) *. alpha t link)
+    +. (2.0 *. k /. (k +. 1.0) *. bytes /. beta t link)
+
+let reduce_time t link ~bytes ~contributors =
+  if contributors <= 1 then 0.0
+  else
+    let k = float_of_int contributors in
+    (collective_factor contributors *. alpha t link)
+    +. (2.0 *. (k -. 1.0) /. k *. bytes /. beta t link)
+    +. (bytes /. t.mem_bw)
+
+let compute_time t ~flops ~bytes_touched =
+  max (flops /. t.compute_rate) (bytes_touched /. t.mem_bw)
+
+let step_time t ~compute ~comm =
+  compute +. max 0.0 (comm -. (t.overlap *. min compute comm))
+
+(* Calibration anchors (see DESIGN.md):
+   - Power9 node dgemm: ~20 GF/s per core; 36 work cores -> 720 GF/s,
+     40 cores -> 800 GF/s.
+   - V100 dgemm: 7.0 TF/s.
+   - IB EDR: 25 GB/s peak; 23 GB/s effective from CPU memory, 18 GB/s from
+     GPU framebuffer through Legion's DMA system (§7.1.2).
+   - NVLink 2.0: 60 GB/s effective per GPU pair.
+   - Node memory bandwidth ~135 GB/s (shared); V100 HBM2 ~800 GB/s. *)
+
+let cpu_base =
+  {
+    name = "cpu";
+    alpha_intra = 1e-6;
+    alpha_inter = 5e-6;
+    beta_intra = 30e9;
+    beta_inter = 23e9;
+    compute_rate = 720e9;
+    mem_bw = 135e9;
+    overlap = 1.0;
+    task_overhead = 50e-6;
+    rack_nodes = 16;
+    rack_uplink = 16.0 *. 23e9 /. 2.0;
+    duplex = Full;
+  }
+
+let cpu_distal = { cpu_base with name = "cpu-distal" }
+let cpu_full_node = { cpu_base with name = "cpu-full"; compute_rate = 800e9; task_overhead = 0.0 }
+
+(* ScaLAPACK and CTF run 4 MPI ranks per node (§7.1): the rank
+   decomposition costs ~20% of single-node BLAS throughput in panel
+   copies and smaller local GEMMs, on top of their weaker
+   communication/computation overlap. Node-level models below; the
+   [cpu_rank_*] variants describe one of the four ranks (quarter of the
+   node's compute, memory bandwidth and NIC). *)
+let cpu_no_overlap =
+  { cpu_base with name = "cpu-no-overlap"; compute_rate = 640e9; overlap = 0.0; task_overhead = 0.0 }
+
+let cpu_ctf =
+  { cpu_base with name = "cpu-ctf"; compute_rate = 640e9; overlap = 0.5; task_overhead = 100e-6 }
+
+let cpu_rank_no_overlap =
+  {
+    cpu_no_overlap with
+    name = "cpu-rank-no-overlap";
+    compute_rate = 160e9;
+    mem_bw = 34e9;
+    beta_inter = 23e9 /. 4.0;
+  }
+
+let cpu_rank_ctf =
+  {
+    cpu_ctf with
+    name = "cpu-rank-ctf";
+    (* CTF's tensor-blocking layer costs a little more of the local BLAS
+       throughput than ScaLAPACK's panels. *)
+    compute_rate = 150e9;
+    mem_bw = 34e9;
+    beta_inter = 23e9 /. 4.0;
+  }
+
+let gpu_distal =
+  {
+    name = "gpu-distal";
+    alpha_intra = 2e-6;
+    alpha_inter = 5e-6;
+    beta_intra = 60e9;
+    (* Four GPUs share the node's NIC; per-GPU share of the 18 GB/s the
+       Legion DMA system reaches from framebuffer memory (§7.1.2). *)
+    beta_inter = 18e9 /. 4.0;
+    compute_rate = 7e12;
+    mem_bw = 800e9;
+    overlap = 1.0;
+    task_overhead = 50e-6;
+    rack_nodes = 16;
+    (* 2:1 tapered uplinks; Legion's DMA path reaches 18 of 25 GB/s per
+       node out of framebuffer memory, and its send and receive engines
+       contend for the same PCIe/NIC path. *)
+    rack_uplink = 16.0 *. 18e9 /. 2.0;
+    duplex = Half;
+  }
+
+let gpu_cosma =
+  {
+    gpu_distal with
+    name = "gpu-cosma";
+    beta_inter = 23e9 /. 4.0;
+    (* Out-of-core GEMM staged through CPU memory: host-device transfers
+       halve effective single-node throughput, but the full 23 GB/s NIC
+       rate is available since data is CPU-resident (§7.1.2). *)
+    compute_rate = 3.5e12;
+    task_overhead = 0.0;
+    rack_uplink = 16.0 *. 23e9 /. 2.0;
+    duplex = Full;
+  }

@@ -1,0 +1,1 @@
+lib/runtime/exec.ml: Array Distal_ir Distal_machine Distal_support Distal_tensor Hashtbl List Mapper Printf Result Stats String

@@ -1,0 +1,1 @@
+lib/runtime/exec.mli: Distal_ir Distal_machine Distal_tensor Stats Stdlib

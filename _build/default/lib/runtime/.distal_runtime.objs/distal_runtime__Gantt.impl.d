@@ -1,0 +1,1 @@
+lib/runtime/gantt.ml: Array Buffer Distal_machine Distal_tensor Exec Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/runtime/gantt.mli: Distal_machine Exec

@@ -1,0 +1,1 @@
+lib/runtime/mapper.ml: Array Distal_machine Distal_support

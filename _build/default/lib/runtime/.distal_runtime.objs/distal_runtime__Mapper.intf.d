@@ -1,0 +1,1 @@
+lib/runtime/mapper.mli: Distal_machine

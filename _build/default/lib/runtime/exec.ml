@@ -1,0 +1,685 @@
+module Ints = Distal_support.Ints
+module Dense = Distal_tensor.Dense
+module Rect = Distal_tensor.Rect
+module Kernels = Distal_tensor.Kernels
+module Machine = Distal_machine.Machine
+module Cost = Distal_machine.Cost_model
+module Expr = Distal_ir.Expr
+module Provenance = Distal_ir.Provenance
+module Bounds = Distal_ir.Bounds
+module Taskir = Distal_ir.Taskir
+module Distnot = Distal_ir.Distnot
+module Kernel_match = Distal_ir.Kernel_match
+
+type mode = Full | Model
+
+type spec = {
+  machine : Machine.t;
+  cost : Cost.t;
+  program : Taskir.program;
+  dists : (string * Distnot.t) list;
+  virtual_grid : int array option;
+}
+
+type result = { output : Dense.t option; stats : Stats.t }
+
+type trace_event = {
+  step : int;
+  tensor : string;
+  piece : Rect.t;
+  src : int array;
+  dst : int array;
+  bytes : float;
+}
+
+let trace_to_string e =
+  Printf.sprintf "step %d: %s%s %s -> %s (%.0f B)" e.step e.tensor
+    (Rect.to_string e.piece)
+    (Ints.to_string e.src) (Ints.to_string e.dst) e.bytes
+
+let errf fmt = Printf.ksprintf (fun s -> Error s) fmt
+let ( let* ) = Result.bind
+
+(* {2 Serial reference interpreter} *)
+
+let serial_reference stmt ~shapes ~data =
+  let extents = Distal_ir.Typecheck.check_exn stmt ~shapes in
+  let shape_of tn = List.assoc tn shapes in
+  let out_name = stmt.Expr.lhs.tensor in
+  let out =
+    if stmt.accum then
+      match List.assoc_opt out_name data with
+      | Some d -> Dense.copy d
+      | None -> Dense.create (shape_of out_name)
+    else Dense.create (shape_of out_name)
+  in
+  let lookup (a : Expr.access) coord = Dense.get (List.assoc a.tensor data) coord in
+  let dims = Array.of_list (List.map snd extents) in
+  let vars = Array.of_list (List.map fst extents) in
+  Ints.iter_box dims (fun point ->
+      let pt v =
+        let rec idx k = if vars.(k) = v then k else idx (k + 1) in
+        point.(idx 0)
+      in
+      let v = Expr.eval stmt ~lookup ~point:pt in
+      let coord = Array.of_list (List.map pt stmt.lhs.indices) in
+      Dense.add_at out coord v);
+  out
+
+(* {2 The distributed executor} *)
+
+(* One communication bundle: same payload, same source, same step. Several
+   receivers make it a broadcast. *)
+type group = {
+  src : int;
+  src_coord : int array;
+  bytes : float;
+  mutable receivers : (int * Cost.link) list;
+}
+
+(* Per-statement operation count per iteration-space point: one per binary
+   operator plus the reduction accumulate. *)
+let ops_per_point (stmt : Expr.stmt) =
+  let rec count = function
+    | Expr.Access _ | Expr.Const _ -> 0
+    | Expr.Add (a, b) | Expr.Sub (a, b) | Expr.Mul (a, b) -> 1 + count a + count b
+  in
+  let c = count stmt.rhs + if Expr.reduction_vars stmt <> [] then 1 else 0 in
+  max 1 c
+
+let execute ?(mode = Full) ?trace spec ~data =
+  let prog = spec.program in
+  let stmt = prog.stmt in
+  let prov = prog.prov in
+  let machine = spec.machine in
+  let cost = spec.cost in
+  let out_name = stmt.lhs.tensor in
+  let tensors = Expr.tensors stmt in
+  (* Distributions (and index task launches) may target a virtual grid
+     larger than the machine; virtual processors fold onto physical ones
+     exactly as the mapper folds launch points. *)
+  let vmachine =
+    match spec.virtual_grid with
+    | None -> machine
+    | Some dims ->
+        Machine.grid ~kind:(Machine.kind machine)
+          ~mem_per_proc:(Machine.mem_per_proc_bytes machine) dims
+  in
+  let nprocs_phys = Machine.num_procs machine in
+  let phys_of_virtual vc =
+    if spec.virtual_grid = None then vc
+    else Machine.delinearize machine (Machine.linearize vmachine vc mod nprocs_phys)
+  in
+  (* Validate distributions. *)
+  let* dists =
+    List.fold_left
+      (fun acc tn ->
+        let* acc = acc in
+        match List.assoc_opt tn spec.dists with
+        | None -> errf "no distribution given for tensor %s" tn
+        | Some d -> (
+            let rank = Array.length (Taskir.shape_of prog tn) in
+            match Distnot.validate d ~tensor_rank:rank ~machine:vmachine with
+            | Ok () -> Ok ((tn, d) :: acc)
+            | Error e -> errf "invalid distribution for %s: %s" tn e))
+      (Ok []) tensors
+  in
+  let* () =
+    if mode = Full then
+      List.fold_left
+        (fun acc tn ->
+          let* () = acc in
+          if tn = out_name && not stmt.accum then Ok ()
+          else if List.mem_assoc tn data then Ok ()
+          else errf "no data given for tensor %s" tn)
+        (Ok ()) tensors
+    else Ok ()
+  in
+  let* named_order =
+    let rec find = function
+      | Taskir.Launch { body; _ } | Seq_loop { body; _ } | Ensure { body; _ } ->
+          find body
+      | Leaf (Named { kernel; _ }) -> Some kernel
+      | Leaf (Scalar_loops _) -> None
+    in
+    match find prog.tree with
+    | None -> Ok None
+    | Some kernel ->
+        let* order = Kernel_match.check stmt ~kernel in
+        Ok (Some (kernel, order))
+  in
+  let lvars, ldims = Taskir.launch prog in
+  let rec seq_loops = function
+    | Taskir.Launch { body; _ } | Ensure { body; _ } -> seq_loops body
+    | Seq_loop { var; extent; body } -> (var, extent) :: seq_loops body
+    | Leaf _ -> []
+  in
+  let seqs = seq_loops prog.tree in
+  let seq_vars = Array.of_list (List.map fst seqs) in
+  let seq_dims = Array.of_list (List.map snd seqs) in
+  let seq_strides = Ints.row_major_strides seq_dims in
+  let nsteps = max 1 (Ints.prod seq_dims) in
+  (* Global backing stores. In owner-computes mode the output buffer is
+     seeded from the global store, so for [=] statements the global output
+     starts at zero; for [+=] it starts at the caller-provided value. *)
+  let global : (string, Dense.t) Hashtbl.t = Hashtbl.create 8 in
+  if mode = Full then begin
+    List.iter
+      (fun tn ->
+        if tn <> out_name then Hashtbl.replace global tn (List.assoc tn data))
+      tensors;
+    let out0 =
+      if stmt.accum then Dense.copy (List.assoc out_name data)
+      else Dense.create (Taskir.shape_of prog out_name)
+    in
+    Hashtbl.replace global out_name out0
+  end;
+  let nprocs = Machine.num_procs machine in
+  let tiles_of : (string, (Rect.t * int array list) list) Hashtbl.t = Hashtbl.create 8 in
+  (* Per-tensor: the tiles each physical processor owns (several under
+     over-decomposition), and a memo of needed-rect -> (piece, owners)
+     coverings — the hot lookups of the simulation. Owner coordinates are
+     physical. *)
+  let proc_rects_of : (string, Rect.t list array) Hashtbl.t = Hashtbl.create 8 in
+  let pieces_memo : (string * string, (Rect.t * int array list) list) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  List.iter
+    (fun tn ->
+      let shape = Taskir.shape_of prog tn in
+      let dist = List.assoc tn dists in
+      let vtiles = Distnot.tiles dist ~shape ~machine:vmachine in
+      let dedup owners =
+        List.fold_left
+          (fun acc o -> if List.exists (Ints.equal o) acc then acc else o :: acc)
+          [] owners
+        |> List.rev
+      in
+      Hashtbl.replace tiles_of tn
+        (List.map
+           (fun (r, owners) -> (r, dedup (List.map phys_of_virtual owners)))
+           vtiles);
+      let rects = Array.make nprocs [] in
+      List.iter
+        (fun vc ->
+          let p = Machine.linearize machine (phys_of_virtual vc) in
+          List.iter
+            (fun r -> rects.(p) <- r :: rects.(p))
+            (Distnot.rects_of_proc dist ~shape ~machine:vmachine vc))
+        (Machine.proc_coords vmachine);
+      Hashtbl.replace proc_rects_of tn rects)
+    tensors;
+  let pieces_of tn rect =
+    let key = (tn, Rect.to_string rect) in
+    match Hashtbl.find_opt pieces_memo key with
+    | Some ps -> ps
+    | None ->
+        let ps =
+          List.filter_map
+            (fun (tr, owners) ->
+              let piece = Rect.inter rect tr in
+              if Rect.is_empty piece then None else Some (piece, owners))
+            (Hashtbl.find tiles_of tn)
+        in
+        Hashtbl.add pieces_memo key ps;
+        ps
+  in
+  (* Reduction mode: some distributed loop variable derives from a
+     variable summed over (§3.3: "distributing variables used for
+     reductions results in distributed reductions into the output"). *)
+  let reduction =
+    let red_roots = Expr.reduction_vars stmt in
+    List.exists
+      (fun lv -> List.exists (fun r -> Provenance.derives_from prov lv ~root:r) red_roots)
+      lvars
+  in
+  (* Event log. *)
+  let groups : (int * string, group) Hashtbl.t = Hashtbl.create 256 in
+  let compute : (int * int, (float * float) ref) Hashtbl.t = Hashtbl.create 256 in
+  let red_contribs : (string, float * int list) Hashtbl.t = Hashtbl.create 16 in
+  let stats = Stats.create () in
+  let add_compute ~step ~proc ~flops ~bytes =
+    (match Hashtbl.find_opt compute (step, proc) with
+    | Some r ->
+        let f, b = !r in
+        r := (f +. flops, b +. bytes)
+    | None -> Hashtbl.add compute (step, proc) (ref (flops, bytes)));
+    stats.Stats.flops <- stats.Stats.flops +. flops
+  in
+  let link_of a b = if Machine.same_node machine a b then Cost.Intra else Cost.Inter in
+  (* Cross-rack traffic per step, for the tapered-fabric term (the network
+     hierarchy of §3.1 footnote 1). *)
+  let rack_of coord = Machine.node_of machine coord / cost.Cost.rack_nodes in
+  let racks = Ints.ceil_div (Machine.num_nodes machine) cost.Cost.rack_nodes in
+  let cross : (int, float ref) Hashtbl.t = Hashtbl.create 64 in
+  let add_cross step bytes =
+    match Hashtbl.find_opt cross step with
+    | Some r -> r := !r +. bytes
+    | None -> Hashtbl.add cross step (ref bytes)
+  in
+  let add_copy ~step ~tensor ~piece ~src_coord ~dst_coord =
+    let bytes = 8.0 *. float_of_int (Rect.volume piece) in
+    if bytes > 0.0 then begin
+      let src = Machine.linearize machine src_coord in
+      let dst = Machine.linearize machine dst_coord in
+      let key = (step, Printf.sprintf "%s:%s:%d" tensor (Rect.to_string piece) src) in
+      let link = link_of src_coord dst_coord in
+      (match Hashtbl.find_opt groups key with
+      | Some g -> g.receivers <- (dst, link) :: g.receivers
+      | None -> Hashtbl.add groups key { src; src_coord; bytes; receivers = [ (dst, link) ] });
+      (match link with
+      | Cost.Intra -> stats.Stats.bytes_intra <- stats.Stats.bytes_intra +. bytes
+      | Cost.Inter -> stats.Stats.bytes_inter <- stats.Stats.bytes_inter +. bytes);
+      if rack_of src_coord <> rack_of dst_coord then add_cross step bytes;
+      (match trace with
+      | Some log ->
+          log :=
+            { step; tensor; piece; src = src_coord; dst = dst_coord; bytes } :: !log
+      | None -> ());
+      stats.Stats.messages <- stats.Stats.messages + 1
+    end
+  in
+  (* Static per-processor memory: owned tiles of every tensor. *)
+  let static_mem = Array.make nprocs 0.0 in
+  List.iter
+    (fun tn ->
+      let rects = Hashtbl.find proc_rects_of tn in
+      Array.iteri
+        (fun p rs ->
+          List.iter
+            (fun r ->
+              static_mem.(p) <- static_mem.(p) +. (8.0 *. float_of_int (Rect.volume r)))
+            rs)
+        rects)
+    tensors;
+  let dyn_peak = Array.make nprocs 0.0 in
+  (* {3 Per-task walk} *)
+  let ops = ops_per_point stmt in
+  let run_task (point : int array) =
+    stats.Stats.tasks <- stats.Stats.tasks + 1;
+    let proc_coord = Mapper.proc_of_point machine ~launch_dims:ldims point in
+    let proc = Machine.linearize machine proc_coord in
+    let env_tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
+    List.iteri (fun i v -> Hashtbl.replace env_tbl v point.(i)) lvars;
+    let env v = Hashtbl.find_opt env_tbl v in
+    let step_of () =
+      let s = ref 0 in
+      Array.iteri
+        (fun i v ->
+          match env v with Some x -> s := !s + (x * seq_strides.(i)) | None -> ())
+        seq_vars;
+      !s
+    in
+    (* Cached instances record whether they count against dynamic memory
+       (instances of locally-owned tiles alias the owned data). *)
+    let cache : (string, Rect.t * Dense.t option * bool) Hashtbl.t = Hashtbl.create 8 in
+    let dyn = ref 0.0 and dyn_max = ref 0.0 in
+    let grow bytes =
+      dyn := !dyn +. bytes;
+      if !dyn > !dyn_max then dyn_max := !dyn
+    in
+    let shrink bytes = dyn := !dyn -. bytes in
+    let proc_owns tn rect =
+      List.exists (fun r -> Rect.subset rect r) (Hashtbl.find proc_rects_of tn).(proc)
+    in
+    (* Fetch cost: intersect the needed rect with the owner tiles; local
+       pieces are free, remote pieces become copy events (same-node owners
+       preferred). *)
+    let charge_fetch tn rect =
+      let step = step_of () in
+      List.iter
+        (fun (piece, owners) ->
+          if List.exists (fun o -> Ints.equal o proc_coord) owners then ()
+          else
+            let src_coord =
+              match
+                List.find_opt (fun o -> Machine.same_node machine o proc_coord) owners
+              with
+              | Some o -> o
+              | None -> List.hd owners
+            in
+            add_copy ~step ~tensor:tn ~piece ~src_coord ~dst_coord:proc_coord)
+        (pieces_of tn rect)
+    in
+    let flush_output rect buf =
+      let step = step_of () in
+      let bytes = 8.0 *. float_of_int (Rect.volume rect) in
+      if reduction then begin
+        (match Hashtbl.find_opt red_contribs (Rect.to_string rect) with
+        | Some (b, procs) ->
+            Hashtbl.replace red_contribs (Rect.to_string rect) (b, proc :: procs)
+        | None -> Hashtbl.add red_contribs (Rect.to_string rect) (bytes, [ proc ]));
+        match buf with
+        | Some b when not (Rect.is_empty rect) ->
+            Dense.accumulate_into ~src:b ~dst:(Hashtbl.find global out_name) rect
+        | _ -> ()
+      end
+      else begin
+        if not (proc_owns out_name rect) then
+          (* Owner-computes with a remote owner: ship the tile home. *)
+          List.iter
+            (fun (piece, os) ->
+              let dst_coord = List.hd os in
+              if not (Ints.equal dst_coord proc_coord) then
+                add_copy ~step ~tensor:out_name ~piece ~src_coord:proc_coord ~dst_coord)
+            (pieces_of out_name rect);
+        match buf with
+        | Some b when not (Rect.is_empty rect) ->
+            Dense.blit_into ~src:b ~dst:(Hashtbl.find global out_name) rect
+        | _ -> ()
+      end
+    in
+    let ensure tn =
+      let shape = Taskir.shape_of prog tn in
+      let rect = Bounds.tensor_footprint prov ~env ~stmt ~shape tn in
+      let fresh =
+        match Hashtbl.find_opt cache tn with
+        | Some (r, _, _) when Rect.equal r rect -> false
+        | Some (r, old, counted) ->
+            if tn = out_name then flush_output r old;
+            if counted then shrink (8.0 *. float_of_int (Rect.volume r));
+            Hashtbl.remove cache tn;
+            true
+        | None -> true
+      in
+      if fresh then begin
+        let bytes = 8.0 *. float_of_int (Rect.volume rect) in
+        (* An instance of a locally-owned subrect aliases the owned tile;
+           reduction partials for the output are fresh allocations. *)
+        let counted =
+          (tn = out_name && reduction) || not (proc_owns tn rect)
+        in
+        if counted then grow bytes;
+        if tn = out_name then begin
+          (* Reduction partials start at zero; stationary/owner-computes
+             outputs are seeded with current values (which only costs
+             communication when the statement accumulates into a tensor
+             this processor does not own). *)
+          if (not reduction) && stmt.accum then charge_fetch tn rect
+        end
+        else charge_fetch tn rect;
+        let buf =
+          if mode = Model then None
+          else if tn = out_name && reduction then Some (Dense.create (Rect.extents rect))
+          else Some (Dense.extract (Hashtbl.find global tn) rect)
+        in
+        Hashtbl.replace cache tn (rect, buf, counted)
+      end
+    in
+    let leaf_bytes () =
+      List.fold_left
+        (fun acc tn ->
+          match Hashtbl.find_opt cache tn with
+          | Some (r, _, _) -> acc +. (8.0 *. float_of_int (Rect.volume r))
+          | None -> acc)
+        0.0 tensors
+    in
+    let leaf_points () =
+      List.fold_left
+        (fun acc v ->
+          let lo, hi = Provenance.interval prov ~env v in
+          acc *. float_of_int (max 0 (hi - lo)))
+        1.0 (Expr.index_vars stmt)
+    in
+    let exec_leaf leaf =
+      let step = step_of () in
+      add_compute ~step ~proc
+        ~flops:(float_of_int ops *. leaf_points ())
+        ~bytes:(leaf_bytes ());
+      if mode = Full then begin
+        let buffer tn =
+          match Hashtbl.find_opt cache tn with
+          | Some (r, Some b, _) -> (r, b)
+          | _ -> invalid_arg ("leaf executed without an instance of " ^ tn)
+        in
+        match leaf with
+        | Taskir.Named _ ->
+            let kernel, order =
+              match named_order with Some ko -> ko | None -> assert false
+            in
+            (* A cached instance may cover more than this leaf execution
+               touches (a communicate point above further sequential
+               loops): slice each buffer down to the leaf's footprint and
+               write the output slice back afterwards. *)
+            let sliced tn =
+              let r, buf = buffer tn in
+              let shape = Taskir.shape_of prog tn in
+              let need = Bounds.tensor_footprint prov ~env ~stmt ~shape tn in
+              if Rect.equal need r then (buf, None)
+              else begin
+                assert (Rect.subset need r);
+                let local =
+                  Rect.make
+                    ~lo:(Array.mapi (fun d x -> x - (r : Rect.t).lo.(d)) (need : Rect.t).lo)
+                    ~hi:(Array.mapi (fun d x -> x - (r : Rect.t).lo.(d)) (need : Rect.t).hi)
+                in
+                (Dense.extract buf local, Some (buf, local))
+              end
+            in
+            let bufs = List.map sliced order in
+            let b (buf, _) = buf in
+            (match (kernel, bufs) with
+            | "gemm", [ a; x; y ] -> Kernels.gemm ~a:(b a) ~b:(b x) ~c:(b y)
+            | "gemv", [ a; x; y ] -> Kernels.gemv ~a:(b a) ~b:(b x) ~c:(b y)
+            | "ttv", [ a; x; y ] -> Kernels.ttv ~a:(b a) ~b:(b x) ~c:(b y)
+            | "ttm", [ a; x; y ] -> Kernels.ttm ~a:(b a) ~b:(b x) ~c:(b y)
+            | "mttkrp", [ a; x; y; z ] ->
+                Kernels.mttkrp ~a:(b a) ~b:(b x) ~c:(b y) ~d:(b z)
+            | "innerprod", [ a; x; y ] ->
+                Dense.add_lin (b a) 0 (Kernels.inner_product (b x) (b y))
+            | _ -> invalid_arg ("bad substituted kernel " ^ kernel));
+            (* Write back a sliced output. *)
+            (match (order, bufs) with
+            | out :: _, (slice, Some (buf, local)) :: _ when String.equal out out_name ->
+                Dense.blit_into ~src:slice ~dst:buf local
+            | _ -> ())
+        | Taskir.Scalar_loops vars ->
+            let extents = Array.of_list (List.map (Provenance.extent prov) vars) in
+            let vars_arr = Array.of_list vars in
+            let lookup (a : Expr.access) coord =
+              let r, b = buffer a.tensor in
+              let local = Array.mapi (fun d c -> c - (r : Rect.t).lo.(d)) coord in
+              Dense.get b local
+            in
+            let out_rect, out_buf = buffer out_name in
+            Ints.iter_box extents (fun pt ->
+                Array.iteri (fun i v -> Hashtbl.replace env_tbl v pt.(i)) vars_arr;
+                if Provenance.guards_ok prov ~env then begin
+                  let point v =
+                    match Provenance.raw_point prov ~env v with
+                    | Some x -> x
+                    | None -> invalid_arg ("unbound index variable " ^ v)
+                  in
+                  let v = Expr.eval stmt ~lookup ~point in
+                  let coord =
+                    Array.of_list (List.map point stmt.lhs.indices)
+                  in
+                  let local =
+                    Array.mapi (fun d c -> c - (out_rect : Rect.t).lo.(d)) coord
+                  in
+                  Dense.add_at out_buf local v
+                end);
+            Array.iter (fun v -> Hashtbl.remove env_tbl v) vars_arr
+      end
+    in
+    let rec walk = function
+      | Taskir.Launch { body; _ } -> walk body
+      | Taskir.Seq_loop { var; extent; body } ->
+          for x = 0 to extent - 1 do
+            Hashtbl.replace env_tbl var x;
+            walk body
+          done;
+          Hashtbl.remove env_tbl var
+      | Taskir.Ensure { tensor; body } ->
+          ensure tensor;
+          walk body
+      | Taskir.Leaf leaf -> exec_leaf leaf
+    in
+    walk prog.tree;
+    (* Flush the cached output instance (write-back or reduction). *)
+    (match Hashtbl.find_opt cache out_name with
+    | Some (r, buf, _) -> flush_output r buf
+    | None -> ());
+    if !dyn_max > dyn_peak.(proc) then dyn_peak.(proc) <- !dyn_max
+  in
+  let points =
+    if Array.length ldims = 0 then [ [||] ]
+    else Ints.fold_box ldims ~init:[] ~f:(fun acc c -> c :: acc) |> List.rev
+  in
+  List.iter run_task points;
+  (* {3 Timing assembly} *)
+  (* A processor's communication time in a step combines its send and
+     receive occupancies per the cost model's duplex mode (full-duplex
+     NICs overlap them; framebuffer DMA serializes them). *)
+  let comm : (int * int, (float * float) ref) Hashtbl.t = Hashtbl.create 256 in
+  let add_comm step proc ~send ~recv =
+    match Hashtbl.find_opt comm (step, proc) with
+    | Some r ->
+        let s, v = !r in
+        r := (s +. send, v +. recv)
+    | None -> Hashtbl.add comm (step, proc) (ref (send, recv))
+  in
+  Hashtbl.iter
+    (fun (step, _) g ->
+      let k = List.length g.receivers in
+      if k = 1 then begin
+        let dst, link = List.hd g.receivers in
+        let t = Cost.copy_time cost link ~bytes:g.bytes in
+        add_comm step dst ~send:0.0 ~recv:t;
+        add_comm step g.src ~send:t ~recv:0.0
+      end
+      else begin
+        let worst =
+          if List.exists (fun (_, l) -> l = Cost.Inter) g.receivers then Cost.Inter
+          else Cost.Intra
+        in
+        List.iter
+          (fun (dst, link) ->
+            add_comm step dst
+              ~send:(Cost.broadcast_participant_send cost link ~bytes:g.bytes ~receivers:k)
+              ~recv:(Cost.broadcast_time cost link ~bytes:g.bytes ~receivers:k))
+          g.receivers;
+        add_comm step g.src
+          ~send:(Cost.broadcast_time cost worst ~bytes:g.bytes ~receivers:k)
+          ~recv:0.0
+      end)
+    groups;
+  (* Active steps: max over processors of overlapped compute+comm. *)
+  let step_cost : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let bump step t =
+    match Hashtbl.find_opt step_cost step with
+    | Some t0 -> if t > t0 then Hashtbl.replace step_cost step t
+    | None -> Hashtbl.add step_cost step t
+  in
+  let comm_of step proc =
+    match Hashtbl.find_opt comm (step, proc) with
+    | Some r ->
+        let s, v = !r in
+        Cost.combine_sr cost ~send:s ~recv:v
+    | None -> 0.0
+  in
+  Hashtbl.iter
+    (fun (step, proc) r ->
+      let flops, bytes = !r in
+      let cmp = Cost.compute_time cost ~flops ~bytes_touched:bytes in
+      bump step (Cost.step_time cost ~compute:cmp ~comm:(comm_of step proc)))
+    compute;
+  Hashtbl.iter
+    (fun (step, proc) _ ->
+      if not (Hashtbl.mem compute (step, proc)) then
+        bump step (Cost.step_time cost ~compute:0.0 ~comm:(comm_of step proc)))
+    comm;
+  Hashtbl.iter
+    (fun step bytes -> bump step (Cost.fabric_time cost ~cross_rack_bytes:!bytes ~racks))
+    cross;
+  let time = Hashtbl.fold (fun _ t acc -> acc +. t) step_cost 0.0 in
+  (* Reduction epilogue: independent tiles reduce in parallel. *)
+  let red_time =
+    Hashtbl.fold
+      (fun _ (bytes, procs) acc ->
+        let k = List.length procs in
+        if k <= 1 then acc
+        else begin
+          let coords = List.map (Machine.delinearize machine) procs in
+          let first = List.hd coords in
+          let link =
+            if List.for_all (fun c -> Machine.same_node machine first c) coords then
+              Cost.Intra
+            else Cost.Inter
+          in
+          (match link with
+          | Cost.Intra ->
+              stats.Stats.bytes_intra <-
+                stats.Stats.bytes_intra +. (bytes *. float_of_int (k - 1))
+          | Cost.Inter ->
+              stats.Stats.bytes_inter <-
+                stats.Stats.bytes_inter +. (bytes *. float_of_int (k - 1)));
+          stats.Stats.messages <- stats.Stats.messages + (k - 1);
+          max acc (Cost.reduce_time cost link ~bytes ~contributors:k)
+        end)
+      red_contribs 0.0
+  in
+  let tasks_per_proc = Ints.ceil_div (List.length points) nprocs in
+  let overhead = float_of_int tasks_per_proc *. cost.Cost.task_overhead in
+  stats.Stats.time <- time +. red_time +. overhead;
+  stats.Stats.steps <- nsteps;
+  (* Memory accounting. *)
+  let mem_limit = Machine.mem_per_proc_bytes machine in
+  for p = 0 to nprocs - 1 do
+    let m = static_mem.(p) +. dyn_peak.(p) in
+    if m > stats.Stats.peak_mem then stats.Stats.peak_mem <- m;
+    if m > mem_limit then stats.Stats.oom <- true
+  done;
+  (match trace with Some log -> log := List.rev !log | None -> ());
+  let output = if mode = Full then Hashtbl.find_opt global out_name else None in
+  Ok { output; stats }
+
+(* {2 Redistribution} *)
+
+let redistribute machine cost ~shape ~src ~dst =
+  let stats = Stats.create () in
+  let src_tiles = Distnot.tiles src ~shape ~machine in
+  let dst_tiles = Distnot.tiles dst ~shape ~machine in
+  let recv = Hashtbl.create 64 and send = Hashtbl.create 64 in
+  let bump tbl p t =
+    match Hashtbl.find_opt tbl p with
+    | Some r -> r := !r +. t
+    | None -> Hashtbl.add tbl p (ref t)
+  in
+  List.iter
+    (fun (dr, downers) ->
+      List.iter
+        (fun dcoord ->
+          List.iter
+            (fun (sr, sowners) ->
+              let piece = Rect.inter dr sr in
+              if
+                (not (Rect.is_empty piece))
+                && not (List.exists (fun o -> Ints.equal o dcoord) sowners)
+              then begin
+                let srcp =
+                  match
+                    List.find_opt (fun o -> Machine.same_node machine o dcoord) sowners
+                  with
+                  | Some o -> o
+                  | None -> List.hd sowners
+                in
+                let bytes = 8.0 *. float_of_int (Rect.volume piece) in
+                let link =
+                  if Machine.same_node machine srcp dcoord then Cost.Intra else Cost.Inter
+                in
+                let t = Cost.copy_time cost link ~bytes in
+                bump recv (Machine.linearize machine dcoord) t;
+                bump send (Machine.linearize machine srcp) t;
+                stats.Stats.messages <- stats.Stats.messages + 1;
+                match link with
+                | Cost.Intra -> stats.Stats.bytes_intra <- stats.Stats.bytes_intra +. bytes
+                | Cost.Inter -> stats.Stats.bytes_inter <- stats.Stats.bytes_inter +. bytes
+              end)
+            src_tiles)
+        downers)
+    dst_tiles;
+  let maxt tbl = Hashtbl.fold (fun _ r acc -> max acc !r) tbl 0.0 in
+  stats.Stats.time <- max (maxt recv) (maxt send);
+  stats.Stats.steps <- 1;
+  stats

@@ -1,0 +1,83 @@
+(** The task-based runtime simulator.
+
+    This module plays Legion's role (§6): it executes the task IR the
+    compiler emits. Index task launches become per-point tasks placed by
+    the {!Mapper}; [Ensure] nodes materialize bounds-analysis footprints in
+    the executing processor's memory, issuing copies from the owner
+    partition when the data is not already local (communication in Legion
+    is implicit and driven by partitions in exactly this way); leaves run
+    real arithmetic on the local instances.
+
+    Execution is deterministic and doubles as a performance simulation:
+    every copy and leaf execution is also logged as a timed event in a
+    bulk-synchronous step structure (one step per iteration of the
+    sequential loops all tasks execute in lockstep). Steps are charged
+    max-over-processors of compute combined with communication under the
+    cost model's overlap factor; copies of the same data to many
+    destinations in one step are charged as tree broadcasts; distributed
+    reductions are tree-reduced in an epilogue.
+
+    [Model] mode skips data movement and arithmetic but keeps the event
+    simulation exact, so weak-scaling experiments can run at the paper's
+    256-node scales where functional execution would be infeasible
+    (see DESIGN.md, substitutions). *)
+
+type mode = Full | Model
+
+type spec = {
+  machine : Distal_machine.Machine.t;
+  cost : Distal_machine.Cost_model.t;
+  program : Distal_ir.Taskir.program;
+  dists : (string * Distal_ir.Distnot.t) list;  (** one per tensor *)
+  virtual_grid : int array option;
+      (** Over-decomposition: distributions and launches target this
+          virtual processor grid, whose points are folded onto the
+          physical machine by linearization modulo the processor count
+          (Johnson's algorithm on non-cube machines, §7.1.2). [None] means
+          the machine's own grid. *)
+}
+
+type result = { output : Distal_tensor.Dense.t option; stats : Stats.t }
+
+(** One copy the runtime issued: which piece of which tensor moved from
+    which processor to which, at which bulk-synchronous step. *)
+type trace_event = {
+  step : int;
+  tensor : string;
+  piece : Distal_tensor.Rect.t;
+  src : int array;
+  dst : int array;
+  bytes : float;
+}
+
+val trace_to_string : trace_event -> string
+
+val execute :
+  ?mode:mode ->
+  ?trace:trace_event list ref ->
+  spec ->
+  data:(string * Distal_tensor.Dense.t) list ->
+  (result, string) Stdlib.result
+(** Run the program. [data] supplies the input tensors (and, for [+=]
+    statements, the output's initial value); in [Model] mode it is ignored
+    and [output] is [None]. With [trace], every copy event is appended to
+    the list (in issue order) — the communication pattern of Fig. 8/12. *)
+
+val serial_reference :
+  Distal_ir.Expr.stmt ->
+  shapes:(string * int array) list ->
+  data:(string * Distal_tensor.Dense.t) list ->
+  Distal_tensor.Dense.t
+(** Single-processor interpreter of tensor index notation, used as the
+    correctness oracle for every distributed schedule. *)
+
+val redistribute :
+  Distal_machine.Machine.t ->
+  Distal_machine.Cost_model.t ->
+  shape:int array ->
+  src:Distal_ir.Distnot.t ->
+  dst:Distal_ir.Distnot.t ->
+  Stats.t
+(** Cost of moving a tensor between two distributed layouts (§1: "easily
+    transform data between distributed layouts to match the computation").
+    One bulk-synchronous exchange step. *)

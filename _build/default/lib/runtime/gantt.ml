@@ -1,0 +1,62 @@
+module Machine = Distal_machine.Machine
+module Rect = Distal_tensor.Rect
+
+let tile_label (e : Exec.trace_event) =
+  (* Label the piece by its block coordinates: lo divided by extent. *)
+  let r = e.piece in
+  let coords =
+    List.init (Rect.dim r) (fun d ->
+        let w = max 1 ((r : Rect.t).hi.(d) - (r : Rect.t).lo.(d)) in
+        string_of_int ((r : Rect.t).lo.(d) / w))
+  in
+  Printf.sprintf "%s(%s)" e.tensor (String.concat "," coords)
+
+let grid_view ~machine ~tensor events =
+  let dims = (machine : Machine.t).dims in
+  if Array.length dims <> 2 then invalid_arg "Gantt.grid_view: 2-D machines only";
+  let gx = dims.(0) and gy = dims.(1) in
+  let events = List.filter (fun (e : Exec.trace_event) -> e.tensor = tensor) events in
+  let steps =
+    List.sort_uniq compare (List.map (fun (e : Exec.trace_event) -> e.step) events)
+  in
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun step ->
+      Buffer.add_string buf (Printf.sprintf "step %d:\n" step);
+      for x = 0 to gx - 1 do
+        Buffer.add_string buf "  ";
+        for y = 0 to gy - 1 do
+          let cell =
+            match
+              List.find_opt
+                (fun (e : Exec.trace_event) ->
+                  e.step = step && e.dst = [| x; y |])
+                events
+            with
+            | Some e -> Printf.sprintf "%-8s" (tile_label e)
+            | None -> Printf.sprintf "%-8s" "."
+          in
+          Buffer.add_string buf cell
+        done;
+        Buffer.add_char buf '\n'
+      done)
+    steps;
+  Buffer.contents buf
+
+let summary ~machine:_ events =
+  let table : (int, (int * float) ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Exec.trace_event) ->
+      match Hashtbl.find_opt table e.step with
+      | Some r ->
+          let n, b = !r in
+          r := (n + 1, b +. e.bytes)
+      | None -> Hashtbl.add table e.step (ref (1, e.bytes)))
+    events;
+  let steps = List.sort compare (Hashtbl.fold (fun s _ acc -> s :: acc) table []) in
+  String.concat "\n"
+    (List.map
+       (fun s ->
+         let n, b = !(Hashtbl.find table s) in
+         Printf.sprintf "step %d: %d copies, %.0f bytes" s n b)
+       steps)

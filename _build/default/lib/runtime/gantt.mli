@@ -1,0 +1,17 @@
+(** Text rendering of execution traces.
+
+    [grid_view] reproduces the style of the paper's Fig. 12: for a 2-D
+    machine, one grid per bulk-synchronous step showing which tile of a
+    tensor each processor received (or [.] when it used local data). Tiles
+    are labeled by their block coordinates within the tensor. *)
+
+val grid_view :
+  machine:Distal_machine.Machine.t ->
+  tensor:string ->
+  Exec.trace_event list ->
+  string
+
+val summary :
+  machine:Distal_machine.Machine.t -> Exec.trace_event list -> string
+(** Per-step digest: how many copies and bytes moved, and between how many
+    distinct processor pairs. *)

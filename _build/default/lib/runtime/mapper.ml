@@ -1,0 +1,10 @@
+module Ints = Distal_support.Ints
+module Machine = Distal_machine.Machine
+
+let proc_of_point machine ~launch_dims point =
+  let mdims = (machine : Machine.t).dims in
+  if Ints.equal launch_dims mdims then point
+  else if Array.length point = 0 then Machine.delinearize machine 0
+  else
+    let lin = Ints.linearize ~dims:launch_dims point in
+    Machine.delinearize machine (lin mod Machine.num_procs machine)

@@ -1,0 +1,12 @@
+(** Task-to-processor mapping (§6.1's mapping interface).
+
+    The default mapper places the points of an index task launch onto the
+    machine grid: identically when the launch grid equals the machine grid
+    (the common case produced by [distribute_onto] with the machine's
+    dimensions), and by linearization modulo the processor count otherwise
+    (over-decomposition wraps around). *)
+
+val proc_of_point :
+  Distal_machine.Machine.t -> launch_dims:int array -> int array -> int array
+(** The processor coordinate that executes a launch point. A
+    zero-dimensional launch maps to processor 0. *)

@@ -1,0 +1,46 @@
+type t = {
+  mutable time : float;
+  mutable flops : float;
+  mutable bytes_intra : float;
+  mutable bytes_inter : float;
+  mutable messages : int;
+  mutable peak_mem : float;
+  mutable oom : bool;
+  mutable tasks : int;
+  mutable steps : int;
+}
+
+let create () =
+  {
+    time = 0.0;
+    flops = 0.0;
+    bytes_intra = 0.0;
+    bytes_inter = 0.0;
+    messages = 0;
+    peak_mem = 0.0;
+    oom = false;
+    tasks = 0;
+    steps = 0;
+  }
+
+let gflops t = if t.time <= 0.0 then 0.0 else t.flops /. t.time /. 1e9
+let gbs t ~bytes = if t.time <= 0.0 then 0.0 else bytes /. t.time /. 1e9
+
+let add a b =
+  {
+    time = a.time +. b.time;
+    flops = a.flops +. b.flops;
+    bytes_intra = a.bytes_intra +. b.bytes_intra;
+    bytes_inter = a.bytes_inter +. b.bytes_inter;
+    messages = a.messages + b.messages;
+    peak_mem = max a.peak_mem b.peak_mem;
+    oom = a.oom || b.oom;
+    tasks = a.tasks + b.tasks;
+    steps = a.steps + b.steps;
+  }
+
+let to_string t =
+  Printf.sprintf
+    "time=%.3gs flops=%.3g intra=%.3gB inter=%.3gB msgs=%d peak=%.3gB tasks=%d steps=%d%s"
+    t.time t.flops t.bytes_intra t.bytes_inter t.messages t.peak_mem t.tasks t.steps
+    (if t.oom then " OOM" else "")

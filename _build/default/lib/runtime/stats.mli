@@ -1,0 +1,26 @@
+(** Execution statistics collected by the runtime simulator. *)
+
+type t = {
+  mutable time : float;  (** simulated seconds *)
+  mutable flops : float;
+  mutable bytes_intra : float;  (** intra-node communication volume *)
+  mutable bytes_inter : float;  (** inter-node communication volume *)
+  mutable messages : int;
+  mutable peak_mem : float;  (** largest per-processor footprint, bytes *)
+  mutable oom : bool;  (** peak footprint exceeded a processor's memory *)
+  mutable tasks : int;
+  mutable steps : int;
+}
+
+val create : unit -> t
+val gflops : t -> float
+(** Achieved GFLOP/s over the simulated execution. *)
+
+val gbs : t -> bytes:float -> float
+(** Achieved GB/s when processing [bytes] of payload (for bandwidth-bound
+    kernels the paper reports in GB/s, §7.2). *)
+
+val add : t -> t -> t
+(** Sequential composition: times and volumes add, peak memory maxes. *)
+
+val to_string : t -> string

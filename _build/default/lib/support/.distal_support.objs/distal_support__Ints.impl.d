@@ -1,0 +1,1 @@
+lib/support/ints.ml: Array String

@@ -1,0 +1,53 @@
+let prod a = Array.fold_left ( * ) 1 a
+
+let ceil_div a b =
+  assert (b > 0);
+  (a + b - 1) / b
+
+let row_major_strides dims =
+  let n = Array.length dims in
+  let strides = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * dims.(i + 1)
+  done;
+  strides
+
+let linearize ~dims coord =
+  assert (Array.length dims = Array.length coord);
+  let acc = ref 0 in
+  Array.iteri
+    (fun i c ->
+      assert (0 <= c && c < dims.(i));
+      acc := (!acc * dims.(i)) + c)
+    coord;
+  !acc
+
+let delinearize ~dims idx =
+  let n = Array.length dims in
+  let coord = Array.make n 0 in
+  let rem = ref idx in
+  for i = n - 1 downto 0 do
+    coord.(i) <- !rem mod dims.(i);
+    rem := !rem / dims.(i)
+  done;
+  assert (!rem = 0);
+  coord
+
+let iter_box dims f =
+  let n = prod dims in
+  for idx = 0 to n - 1 do
+    f (delinearize ~dims idx)
+  done
+
+let fold_box dims ~init ~f =
+  let acc = ref init in
+  iter_box dims (fun c -> acc := f !acc c);
+  !acc
+
+let equal a b = a = b
+
+let to_string a =
+  "[" ^ String.concat "," (Array.to_list (Array.map string_of_int a)) ^ "]"
+
+let take k a = Array.sub a 0 k
+let drop k a = Array.sub a k (Array.length a - k)

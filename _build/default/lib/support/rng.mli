@@ -1,0 +1,19 @@
+(** Deterministic splitmix64 random number generator.
+
+    Benchmarks and tests need reproducible tensor data independent of the
+    OCaml stdlib [Random] state, so we carry our own tiny generator. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. Equal seeds produce equal streams. *)
+
+val next_int64 : t -> int64
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [\[0, bound)]. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [\[0, bound)]. Requires [bound > 0]. *)
+
+val split : t -> t
+(** Derive an independent generator; advances [t]. *)

@@ -1,0 +1,8 @@
+(** Plain-text aligned tables for the benchmark harness output. *)
+
+type t
+
+val create : header:string list -> t
+val add_row : t -> string list -> unit
+val print : ?oc:out_channel -> t -> unit
+(** Print with columns padded to the widest cell, header underlined. *)

@@ -1,0 +1,1 @@
+lib/tensor/dense.ml: Array Distal_support Rect

@@ -1,0 +1,1 @@
+lib/tensor/dense.mli: Distal_support Rect

@@ -1,0 +1,1 @@
+lib/tensor/kernels.ml: Array Dense Distal_support

@@ -1,0 +1,1 @@
+lib/tensor/kernels.mli: Dense

@@ -1,0 +1,1 @@
+lib/tensor/rect.ml: Array Distal_support List Printf Stdlib String

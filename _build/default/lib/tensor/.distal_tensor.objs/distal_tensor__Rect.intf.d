@@ -1,0 +1,1 @@
+lib/tensor/rect.mli: Stdlib

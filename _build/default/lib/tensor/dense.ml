@@ -1,0 +1,86 @@
+module Ints = Distal_support.Ints
+
+type t = { shape : int array; strides : int array; data : float array }
+
+let create shape =
+  {
+    shape = Array.copy shape;
+    strides = Ints.row_major_strides shape;
+    data = Array.make (Ints.prod shape) 0.0;
+  }
+
+let dims t = Array.length t.shape
+let shape t = Array.copy t.shape
+let size t = Array.length t.data
+let bytes t = 8 * size t
+
+let offset t coord =
+  assert (Array.length coord = dims t);
+  let acc = ref 0 in
+  Array.iteri
+    (fun d c ->
+      assert (0 <= c && c < t.shape.(d));
+      acc := !acc + (c * t.strides.(d)))
+    coord;
+  !acc
+
+let get t coord = t.data.(offset t coord)
+let set t coord v = t.data.(offset t coord) <- v
+let add_at t coord v = t.data.(offset t coord) <- t.data.(offset t coord) +. v
+let fill t v = Array.fill t.data 0 (Array.length t.data) v
+let get_lin t i = t.data.(i)
+let set_lin t i v = t.data.(i) <- v
+let add_lin t i v = t.data.(i) <- t.data.(i) +. v
+
+let init shape f =
+  let t = create shape in
+  Ints.iter_box shape (fun c -> set t c (f c));
+  t
+
+let copy t = { t with shape = Array.copy t.shape; data = Array.copy t.data }
+
+let random rng shape = init shape (fun _ -> Distal_support.Rng.float rng 1.0)
+
+let extract t r =
+  assert (Rect.subset r (Rect.full t.shape));
+  let out = create (Rect.extents r) in
+  let lo = (r : Rect.t).lo in
+  Ints.iter_box (Rect.extents r) (fun off ->
+      let src = Array.init (dims t) (fun d -> lo.(d) + off.(d)) in
+      set out off (get t src));
+  out
+
+let blit_into ~src ~dst r =
+  assert (Rect.subset r (Rect.full dst.shape));
+  assert (Ints.equal (shape src) (Rect.extents r));
+  let lo = (r : Rect.t).lo in
+  Ints.iter_box (Rect.extents r) (fun off ->
+      let d = Array.init (dims dst) (fun k -> lo.(k) + off.(k)) in
+      set dst d (get src off))
+
+let accumulate_into ~src ~dst r =
+  assert (Rect.subset r (Rect.full dst.shape));
+  assert (Ints.equal (shape src) (Rect.extents r));
+  let lo = (r : Rect.t).lo in
+  Ints.iter_box (Rect.extents r) (fun off ->
+      let d = Array.init (dims dst) (fun k -> lo.(k) + off.(k)) in
+      add_at dst d (get src off))
+
+let map2 f a b =
+  assert (Ints.equal a.shape b.shape);
+  { a with data = Array.map2 f a.data b.data; shape = Array.copy a.shape }
+
+let fold f init t = Array.fold_left f init t.data
+
+let max_abs_diff a b =
+  assert (Ints.equal a.shape b.shape);
+  let m = ref 0.0 in
+  Array.iteri (fun i x -> m := max !m (abs_float (x -. b.data.(i)))) a.data;
+  !m
+
+let approx_equal ?(tol = 1e-9) a b =
+  Ints.equal a.shape b.shape
+  && Array.for_all (fun ok -> ok)
+       (Array.init (size a) (fun i ->
+            let x = a.data.(i) and y = b.data.(i) in
+            abs_float (x -. y) <= tol *. (1.0 +. abs_float x +. abs_float y)))

@@ -1,0 +1,58 @@
+(** Dense row-major tensors of 64-bit floats.
+
+    This is the data substrate under both the "global" view of a logical
+    region and the per-processor local buffers the runtime materializes at
+    communicate points. A rank-0 tensor (empty [dims]) is a scalar. *)
+
+type t
+
+val create : int array -> t
+(** Zero-filled tensor of the given shape. *)
+
+val init : int array -> (int array -> float) -> t
+val dims : t -> int
+val shape : t -> int array
+val size : t -> int
+(** Number of elements. *)
+
+val bytes : t -> int
+(** Size in bytes (8 per element). *)
+
+val get : t -> int array -> float
+val set : t -> int array -> float -> unit
+val add_at : t -> int array -> float -> unit
+val fill : t -> float -> unit
+
+val get_lin : t -> int -> float
+(** Access by row-major linear offset (used by leaf kernels). *)
+
+val set_lin : t -> int -> float -> unit
+val add_lin : t -> int -> float -> unit
+
+val offset : t -> int array -> int
+(** Row-major linear offset of a coordinate. *)
+
+val copy : t -> t
+
+val random : Distal_support.Rng.t -> int array -> t
+(** Uniform entries in [\[0, 1)]. *)
+
+val extract : t -> Rect.t -> t
+(** [extract t r] copies the sub-box [r] of [t] into a fresh tensor whose
+    shape is [Rect.extents r]. This models a runtime copy into a local
+    instance. Requires [r] inside [t]'s shape. *)
+
+val blit_into : src:t -> dst:t -> Rect.t -> unit
+(** [blit_into ~src ~dst r] writes [src] (shaped [Rect.extents r]) into the
+    sub-box [r] of [dst]. *)
+
+val accumulate_into : src:t -> dst:t -> Rect.t -> unit
+(** Like {!blit_into} but adds into the destination (reduction write-back). *)
+
+val map2 : (float -> float -> float) -> t -> t -> t
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Shape equality plus componentwise closeness: |a-b| <= tol * (1 + |a| + |b|). *)
+
+val max_abs_diff : t -> t -> float

@@ -1,0 +1,106 @@
+let dims2 t =
+  assert (Dense.dims t = 2);
+  (Dense.shape t).(0), (Dense.shape t).(1)
+
+let gemm ~a ~b ~c =
+  let m, n = dims2 a in
+  let mb, kk = dims2 b in
+  let kc, nc = dims2 c in
+  assert (m = mb && n = nc && kk = kc);
+  (* i-k-j loop order keeps the inner loop unit-stride on both A and C. *)
+  for i = 0 to m - 1 do
+    for k = 0 to kk - 1 do
+      let bik = Dense.get_lin b ((i * kk) + k) in
+      if bik <> 0.0 then
+        for j = 0 to n - 1 do
+          Dense.add_lin a ((i * n) + j) (bik *. Dense.get_lin c ((k * n) + j))
+        done
+    done
+  done
+
+let gemv ~a ~b ~c =
+  let m, k = dims2 b in
+  assert (Dense.dims a = 1 && (Dense.shape a).(0) = m);
+  assert (Dense.dims c = 1 && (Dense.shape c).(0) = k);
+  for i = 0 to m - 1 do
+    let acc = ref 0.0 in
+    for kk = 0 to k - 1 do
+      acc := !acc +. (Dense.get_lin b ((i * k) + kk) *. Dense.get_lin c kk)
+    done;
+    Dense.add_lin a i !acc
+  done
+
+let ttv ~a ~b ~c =
+  let s = Dense.shape b in
+  assert (Dense.dims b = 3);
+  let i_n = s.(0) and j_n = s.(1) and k_n = s.(2) in
+  assert (Dense.shape a = [| i_n; j_n |]);
+  assert (Dense.shape c = [| k_n |]);
+  for i = 0 to i_n - 1 do
+    for j = 0 to j_n - 1 do
+      let acc = ref 0.0 in
+      let base = ((i * j_n) + j) * k_n in
+      for k = 0 to k_n - 1 do
+        acc := !acc +. (Dense.get_lin b (base + k) *. Dense.get_lin c k)
+      done;
+      Dense.add_lin a ((i * j_n) + j) !acc
+    done
+  done
+
+let ttm ~a ~b ~c =
+  let s = Dense.shape b in
+  assert (Dense.dims b = 3);
+  let i_n = s.(0) and j_n = s.(1) and k_n = s.(2) in
+  let kc, l_n = dims2 c in
+  assert (kc = k_n);
+  assert (Dense.shape a = [| i_n; j_n; l_n |]);
+  (* Cast to a loop of GEMMs over i, the strategy of §7.2.1. *)
+  for i = 0 to i_n - 1 do
+    for j = 0 to j_n - 1 do
+      let brow = ((i * j_n) + j) * k_n in
+      let arow = ((i * j_n) + j) * l_n in
+      for k = 0 to k_n - 1 do
+        let bv = Dense.get_lin b (brow + k) in
+        if bv <> 0.0 then
+          for l = 0 to l_n - 1 do
+            Dense.add_lin a (arow + l) (bv *. Dense.get_lin c ((k * l_n) + l))
+          done
+      done
+    done
+  done
+
+let mttkrp ~a ~b ~c ~d =
+  let s = Dense.shape b in
+  assert (Dense.dims b = 3);
+  let i_n = s.(0) and j_n = s.(1) and k_n = s.(2) in
+  let jc, l_n = dims2 c in
+  let kd, ld = dims2 d in
+  assert (jc = j_n && kd = k_n && ld = l_n);
+  assert (Dense.shape a = [| i_n; l_n |]);
+  for i = 0 to i_n - 1 do
+    for j = 0 to j_n - 1 do
+      for k = 0 to k_n - 1 do
+        let bv = Dense.get_lin b ((((i * j_n) + j) * k_n) + k) in
+        if bv <> 0.0 then
+          for l = 0 to l_n - 1 do
+            Dense.add_lin a ((i * l_n) + l)
+              (bv *. Dense.get_lin c ((j * l_n) + l) *. Dense.get_lin d ((k * l_n) + l))
+          done
+      done
+    done
+  done
+
+let inner_product x y =
+  assert (Dense.shape x = Dense.shape y);
+  let acc = ref 0.0 in
+  for i = 0 to Dense.size x - 1 do
+    acc := !acc +. (Dense.get_lin x i *. Dense.get_lin y i)
+  done;
+  !acc
+
+let flops name extents =
+  let p = float_of_int (Distal_support.Ints.prod extents) in
+  match name with
+  | "mttkrp" -> 3.0 *. p
+  | "gemm" | "gemv" | "ttv" | "ttm" | "innerprod" -> 2.0 *. p
+  | _ -> 2.0 *. p

@@ -1,0 +1,33 @@
+(** Local leaf kernels.
+
+    These play the role of CuBLAS/OpenBLAS in the paper: optimized
+    single-processor implementations the scheduler can [substitute] at the
+    leaves of a distributed loop nest (Fig. 2 binds [CuBLAS::GeMM]). They are
+    also the single-node references for the evaluation kernels of §7.2.
+
+    All kernels accumulate into their output ([+=] semantics), matching the
+    reduction leaves the compiler produces. *)
+
+val gemm : a:Dense.t -> b:Dense.t -> c:Dense.t -> unit
+(** [A(i,j) += B(i,k) * C(k,j)]; shapes [i×j], [i×k], [k×j]. *)
+
+val gemv : a:Dense.t -> b:Dense.t -> c:Dense.t -> unit
+(** [a(i) += B(i,k) * c(k)]. *)
+
+val ttv : a:Dense.t -> b:Dense.t -> c:Dense.t -> unit
+(** Tensor-times-vector: [A(i,j) += B(i,j,k) * c(k)]. *)
+
+val ttm : a:Dense.t -> b:Dense.t -> c:Dense.t -> unit
+(** Tensor-times-matrix: [A(i,j,l) += B(i,j,k) * C(k,l)]. *)
+
+val mttkrp : a:Dense.t -> b:Dense.t -> c:Dense.t -> d:Dense.t -> unit
+(** Matricized tensor times Khatri-Rao product:
+    [A(i,l) += B(i,j,k) * C(j,l) * D(k,l)]. *)
+
+val inner_product : Dense.t -> Dense.t -> float
+(** Sum of the elementwise product of two same-shape tensors. *)
+
+val flops : string -> int array -> float
+(** [flops name extents] is the floating point operation count of the named
+    kernel over an iteration space with the given per-variable extents
+    (2 flops per multiply-add; 3 for mttkrp's two multiplies and one add). *)

@@ -1,0 +1,44 @@
+(** Hyper-rectangles over integer coordinates.
+
+    A rect is a half-open box: [lo] inclusive, [hi] exclusive, one entry per
+    dimension. Rects are how the compiler describes tensor footprints (the
+    data a communicate point must materialize) and how the runtime describes
+    partitions, mirroring Legion's bounding-box partitioning API. *)
+
+type t = private { lo : int array; hi : int array }
+
+val make : lo:int array -> hi:int array -> t
+(** Requires [lo] and [hi] of equal length and [lo.(d) <= hi.(d)] for all [d]
+    (empty rects are allowed). *)
+
+val full : int array -> t
+(** The rect covering a whole shape: [0, dims). *)
+
+val dim : t -> int
+val volume : t -> int
+val is_empty : t -> bool
+val contains : t -> int array -> bool
+val subset : t -> t -> bool
+(** [subset a b] holds when every point of [a] lies in [b]. An empty [a] is a
+    subset of anything. *)
+
+val inter : t -> t -> t
+(** Intersection (possibly empty). *)
+
+val hull : t -> t -> t
+(** Smallest rect containing both. *)
+
+val overlaps : t -> t -> bool
+val equal : t -> t -> bool
+
+val iter : t -> (int array -> unit) -> unit
+(** Iterate the points of the rect in row-major order; the callback receives a
+    fresh coordinate array each time. *)
+
+val extents : t -> int array
+(** Per-dimension side lengths. *)
+
+val to_string : t -> string
+(** E.g. ["[0,4)x[2,6)"]. *)
+
+val pp : Stdlib.Format.formatter -> t -> unit

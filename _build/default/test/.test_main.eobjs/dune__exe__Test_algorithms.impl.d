@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Distal Distal_algorithms List Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_auto.ml: Alcotest Astring_contains Distal Distal_algorithms List

@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Array Distal_ir Distal_support Distal_tensor List Option QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Astring_contains Distal Distal_algorithms Distal_ir List Result

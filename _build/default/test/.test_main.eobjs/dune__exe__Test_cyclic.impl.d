@@ -1,0 +1,1 @@
+test/test_cyclic.ml: Alcotest Distal Distal_support List Printf

@@ -1,0 +1,1 @@
+test/test_distnot.ml: Alcotest Array Astring_contains Distal_ir Distal_machine Distal_support Distal_tensor List Option Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_errors.ml: Alcotest Distal List String

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Distal Distal_ir Distal_support List Printf QCheck QCheck_alcotest String

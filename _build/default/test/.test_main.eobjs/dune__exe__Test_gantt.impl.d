@@ -1,0 +1,1 @@
+test/test_gantt.ml: Alcotest Astring_contains Distal Distal_algorithms Distal_ir Distal_runtime List Result String

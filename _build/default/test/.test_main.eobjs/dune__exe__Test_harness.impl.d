@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Distal_harness Distal_machine Filename Float Lazy List Printf String Sys

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Astring_contains Distal_ir Fun List Result

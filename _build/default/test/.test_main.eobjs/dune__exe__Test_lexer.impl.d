@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Astring_contains Distal Distal_ir Fmt List Result

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Distal_machine List

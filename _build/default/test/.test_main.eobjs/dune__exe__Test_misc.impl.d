@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Astring_contains Distal Distal_ir List Option Result

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Distal Distal_ir Result

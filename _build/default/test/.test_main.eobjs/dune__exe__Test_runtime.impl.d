@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Astring_contains Distal Distal_ir Distal_support Distal_tensor Result

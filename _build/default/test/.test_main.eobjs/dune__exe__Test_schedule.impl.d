@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Astring_contains Distal_ir List Result

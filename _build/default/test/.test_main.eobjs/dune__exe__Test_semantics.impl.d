@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Distal Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Distal_support Filename Fun Gen List QCheck QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Distal_support Distal_tensor List QCheck QCheck_alcotest

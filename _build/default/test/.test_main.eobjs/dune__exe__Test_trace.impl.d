@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Distal Distal_algorithms Hashtbl List Printf Result String

@@ -1,0 +1,1 @@
+test/test_volumes.ml: Alcotest Distal Distal_algorithms List Printf Result

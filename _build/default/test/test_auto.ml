@@ -1,0 +1,102 @@
+module Api = Distal.Api
+module Machine = Api.Machine
+module Auto = Distal_algorithms.Auto
+module Stats = Api.Stats
+
+let machine_of grid = Machine.grid grid
+
+let gemm_shapes n = [ ("A", [| n; n |]); ("B", [| n; n |]); ("C", [| n; n |]) ]
+
+let test_auto_gemm_finds_candidates () =
+  match
+    Auto.search ~machine_of ~procs:4 ~stmt:"A(i,j) = B(i,k) * C(k,j)"
+      ~shapes:(gemm_shapes 16) ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok cs ->
+      Alcotest.(check bool) "several candidates" true (List.length cs > 5);
+      let best = List.hd cs in
+      Alcotest.(check bool) "best is not OOM" false best.Auto.stats.Stats.oom;
+      (* The sort puts the cheapest first. *)
+      List.iter
+        (fun c ->
+          Alcotest.(check bool) "sorted" true
+            (best.Auto.stats.Stats.time <= c.Auto.stats.Stats.time
+            || best.Auto.stats.Stats.oom = false))
+        cs
+
+let test_auto_best_validates () =
+  match
+    Auto.best ~machine_of ~procs:4 ~stmt:"A(i,j) = B(i,k) * C(k,j)"
+      ~shapes:(gemm_shapes 12) ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok best -> (
+      match Api.validate best.Auto.plan with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("auto-scheduled plan is wrong: " ^ e))
+
+let test_auto_ttv_no_communication () =
+  (* The search must discover the element-wise strategy of §7.2.2:
+     distributing i with induced row formats moves nothing. *)
+  match
+    Auto.best ~machine_of ~procs:4 ~stmt:"A(i,j) = B(i,j,k) * c(k)"
+      ~shapes:[ ("A", [| 16; 4 |]); ("B", [| 16; 4; 4 |]); ("c", [| 4 |]) ]
+      ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok best ->
+      Alcotest.(check (float 0.0)) "no communication" 0.0
+        (best.Auto.stats.Stats.bytes_inter +. best.Auto.stats.Stats.bytes_intra);
+      Alcotest.(check bool) "distributes i" true (List.mem "i" best.Auto.dist_vars);
+      (match Api.validate best.Auto.plan with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+
+let test_auto_ttm_distributes_i () =
+  match
+    Auto.best ~machine_of ~procs:4 ~stmt:"A(i,j,l) = B(i,j,k) * C(k,l)"
+      ~shapes:
+        [ ("A", [| 16; 3; 5 |]); ("B", [| 16; 3; 4 |]); ("C", [| 4; 5 |]) ]
+      ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok best ->
+      (* i-only distribution keeps B and A local; only C (tiny) moves. *)
+      Alcotest.(check bool) "i among distributed vars" true
+        (List.mem "i" best.Auto.dist_vars);
+      (match Api.validate best.Auto.plan with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+
+let test_auto_beats_naive_gemm () =
+  (* Any auto choice must beat the single-processor degenerate grid. *)
+  match
+    Auto.search ~machine_of ~procs:8 ~stmt:"A(i,j) = B(i,k) * C(k,j)"
+      ~shapes:(gemm_shapes 64) ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok cs ->
+      let best = List.hd cs in
+      let degenerate =
+        List.find_opt (fun c -> c.Auto.grid = [| 1 |]) cs
+      in
+      (match degenerate with
+      | Some d ->
+          Alcotest.(check bool) "parallel beats serial" true
+            (best.Auto.stats.Stats.time < d.Auto.stats.Stats.time)
+      | None -> ());
+      Alcotest.(check bool) "describe mentions grid" true
+        (Astring_contains.contains (Auto.describe best) "distribute")
+
+let suites =
+  [
+    ( "auto scheduler",
+      [
+        Alcotest.test_case "gemm candidates" `Quick test_auto_gemm_finds_candidates;
+        Alcotest.test_case "best validates" `Quick test_auto_best_validates;
+        Alcotest.test_case "ttv zero comm" `Quick test_auto_ttv_no_communication;
+        Alcotest.test_case "ttm keeps B local" `Quick test_auto_ttm_distributes_i;
+        Alcotest.test_case "beats serial" `Quick test_auto_beats_naive_gemm;
+      ] );
+  ]

@@ -1,0 +1,85 @@
+module Api = Distal.Api
+module Machine = Api.Machine
+module Cg = Distal_ir.Codegen_legion
+module M = Distal_algorithms.Matmul
+
+let contains = Astring_contains.contains
+
+let summa_plan () =
+  let alg =
+    Result.get_ok (M.summa ~chunks_per_tile:1 ~n:8 ~machine:(Machine.grid [| 2; 2 |]) ())
+  in
+  alg.M.plan
+
+let test_summa_codegen () =
+  let cpp = Cg.emit (summa_plan ()).Api.program in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains cpp needle))
+    [
+      "// statement: A(i,j) = B(i,k) * C(k,j)";
+      "#include \"legion.h\"";
+      "IndexTaskLauncher leaf(TID_LEAF";
+      "runtime->execute_index_space(ctx, leaf);";
+      "create_partition_by_restriction";
+      "gemm(regions[0], regions[1], regions[2]);";
+      "LogicalRegion lr_A";
+      "Runtime::start(argc, argv);";
+    ]
+
+let test_affine_bounds_recovered () =
+  (* SUMMA on a 2x2 grid over 8x8 matrices: tiles are 4-wide and offset by
+     4*io / 4*jo; the chunked k loop offsets B and C by the step. *)
+  let cpp = Cg.emit (summa_plan ()).Api.program in
+  Alcotest.(check bool) "A dim0 affine in io" true (contains cpp "lo = 4*io, extent 4");
+  Alcotest.(check bool) "B dim1 affine in ko" true (contains cpp "4*ko");
+  (* SUMMA does not distribute k: the output is read-write, not a
+     reduction. *)
+  Alcotest.(check bool) "A is READ_WRITE" true (contains cpp "A (READ_WRITE)");
+  Alcotest.(check bool) "no reduction privileges" false (contains cpp "REDOP")
+
+let test_reduction_privilege () =
+  let alg = Result.get_ok (M.johnson ~n:8 ~machine:(Machine.grid [| 2; 2; 2 |]) ()) in
+  let cpp = Cg.emit alg.M.plan.Api.program in
+  Alcotest.(check bool) "johnson reduces into A" true (contains cpp "LEGION_REDOP_SUM");
+  Alcotest.(check bool) "reduce requirement" true (contains cpp "REDUCE, EXCLUSIVE, lr_A")
+
+let test_rotation_is_dynamic () =
+  let alg = Result.get_ok (M.cannon ~n:8 ~machine:(Machine.grid [| 2; 2 |])) in
+  let cpp = Cg.emit alg.M.plan.Api.program in
+  Alcotest.(check bool) "rotated bounds flagged dynamic" true
+    (contains cpp "recomputed per iteration")
+
+let test_scalar_leaf_codegen () =
+  let machine = Machine.grid [| 2 |] in
+  let p =
+    Api.problem_exn ~machine ~stmt:"A(i,j) = B(i,j) + C(i,j)"
+      ~tensors:
+        [
+          Api.tensor "A" [| 4; 4 |] ~dist:"[x,y] -> [x]";
+          Api.tensor "B" [| 4; 4 |] ~dist:"[x,y] -> [x]";
+          Api.tensor "C" [| 4; 4 |] ~dist:"[x,y] -> [x]";
+        ]
+      ()
+  in
+  let plan =
+    Api.compile_script_exn p
+      ~schedule:"divide(i, io, ii, 2); distribute(io); communicate({A,B,C}, io)"
+  in
+  let cpp = Cg.emit plan.Api.program in
+  Alcotest.(check bool) "scalar loops emitted" true
+    (contains cpp "for (coord_t ii = 0; ii < 2; ++ii)");
+  Alcotest.(check bool) "field accessors" true (contains cpp "FieldAccessor");
+  Alcotest.(check bool) "no substituted kernel" false (contains cpp "substituted local kernel")
+
+let suites =
+  [
+    ( "legion codegen",
+      [
+        Alcotest.test_case "summa translation unit" `Quick test_summa_codegen;
+        Alcotest.test_case "affine bounds" `Quick test_affine_bounds_recovered;
+        Alcotest.test_case "reduction privilege" `Quick test_reduction_privilege;
+        Alcotest.test_case "rotation dynamic" `Quick test_rotation_is_dynamic;
+        Alcotest.test_case "scalar leaf" `Quick test_scalar_leaf_codegen;
+      ] );
+  ]

@@ -1,0 +1,236 @@
+(* Semantic fuzzing: random statements, random distributions, random legal
+   schedules — every combination must compute exactly what the serial
+   interpreter computes. This is the strongest form of the paper's §3.3
+   guarantee that scheduling only affects performance. *)
+
+module Api = Distal.Api
+module Machine = Api.Machine
+module S = Api.Schedule
+module D = Api.Distnot
+module Rng = Distal_support.Rng
+
+let var_pool = [| "i"; "j"; "k"; "l" |]
+
+(* A random statement over up to four index variables with fixed per-var
+   extents; returns the statement string and the shapes it implies. *)
+let gen_stmt rng =
+  let extents = Array.map (fun v -> (v, 2 + Rng.int rng 3)) var_pool in
+  let extent v = List.assoc v (Array.to_list extents) in
+  let pick_vars k =
+    (* k distinct variables *)
+    let order = Array.copy var_pool in
+    for i = Array.length order - 1 downto 1 do
+      let j = Rng.int rng (i + 1) in
+      let t = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- t
+    done;
+    Array.to_list (Array.sub order 0 k)
+  in
+  let n_rhs = 1 + Rng.int rng 3 in
+  let rhs_tensors =
+    List.init n_rhs (fun idx ->
+        let rank = 1 + Rng.int rng 3 in
+        (Printf.sprintf "T%d" idx, pick_vars rank))
+  in
+  let rhs_vars =
+    List.sort_uniq compare (List.concat_map snd rhs_tensors)
+  in
+  (* lhs: a (possibly empty) subset of the rhs variables. *)
+  let lhs_vars = List.filter (fun _ -> Rng.int rng 2 = 0) rhs_vars in
+  let op = if Rng.int rng 4 = 0 then " + " else " * " in
+  let access (t, vs) =
+    if vs = [] then t else Printf.sprintf "%s(%s)" t (String.concat "," vs)
+  in
+  let stmt =
+    Printf.sprintf "Out%s = %s"
+      (if lhs_vars = [] then "" else "(" ^ String.concat "," lhs_vars ^ ")")
+      (String.concat op (List.map access rhs_tensors))
+  in
+  let shapes =
+    ("Out", Array.of_list (List.map extent lhs_vars))
+    :: List.map (fun (t, vs) -> (t, Array.of_list (List.map extent vs))) rhs_tensors
+  in
+  (stmt, shapes, lhs_vars, rhs_vars)
+
+(* A random valid distribution of a tensor onto the machine. *)
+let gen_dist rng ~rank ~mdims =
+  let tensor_axes = List.init rank (fun d -> Printf.sprintf "x%d" d) in
+  (* Choose for each machine dim: partition a distinct unused tensor axis,
+     fix to a coordinate, or broadcast. *)
+  let available = ref tensor_axes in
+  let machine_axes =
+    List.init (Array.length mdims) (fun m ->
+        match Rng.int rng 4 with
+        | 0 when !available <> [] ->
+            let ax = List.nth !available (Rng.int rng (List.length !available)) in
+            available := List.filter (fun a -> a <> ax) !available;
+            D.Part ax
+        | 1 when !available <> [] ->
+            let ax = List.nth !available (Rng.int rng (List.length !available)) in
+            available := List.filter (fun a -> a <> ax) !available;
+            D.Cyclic (ax, 1 + Rng.int rng 2)
+        | 2 -> D.Fix (Rng.int rng mdims.(m))
+        | _ -> D.Bcast)
+  in
+  [ { D.tensor_axes; machine_axes } ]
+
+(* A random legal schedule over the statement's root variables. *)
+let gen_schedule rng ~lhs_vars ~rhs_vars =
+  let cmds = ref [] in
+  let add c = cmds := c :: !cmds in
+  (* Distribute a random subset (reduction variables allowed: that makes a
+     distributed reduction). *)
+  let dist_candidates = rhs_vars in
+  let dist =
+    List.filter (fun _ -> Rng.int rng 3 = 0) dist_candidates
+    |> List.filteri (fun i _ -> i < 2)
+  in
+  ignore lhs_vars;
+  if dist <> [] then begin
+    let names = List.map (fun v -> (v, v ^ "o", v ^ "i")) dist in
+    add
+      (S.Distribute_onto
+         {
+           targets = dist;
+           dist = List.map (fun (_, o, _) -> o) names;
+           local = List.map (fun (_, _, i) -> i) names;
+           grid = Array.of_list (List.map (fun _ -> 1 + Rng.int rng 3) names);
+         })
+  end;
+  (* Maybe split one remaining variable. *)
+  let rest = List.filter (fun v -> not (List.mem v dist)) rhs_vars in
+  let split_var =
+    match rest with
+    | [] -> None
+    | _ ->
+        if Rng.int rng 2 = 0 then Some (List.nth rest (Rng.int rng (List.length rest)))
+        else None
+  in
+  (match split_var with
+  | Some v ->
+      add (S.Split (v, v ^ "o", v ^ "i", 1 + Rng.int rng 3));
+      (* Move the split-outer loop just below the distributed band and
+         maybe rotate it by the distributed variables. *)
+      add (S.Reorder [ v ^ "o" ]);
+      if dist <> [] && Rng.int rng 2 = 0 then
+        add
+          (S.Rotate
+             { target = v ^ "o"; by = List.map (fun d -> d ^ "o") dist; result = v ^ "s" })
+  | None -> ());
+  List.rev !cmds
+
+let current_loop_vars plan = Distal_ir.Cin.loop_vars plan.Api.cin
+
+let fuzz_once seed =
+  let rng = Rng.create seed in
+  let stmt, shapes, lhs_vars, rhs_vars = gen_stmt rng in
+  let mdims = Array.init (1 + Rng.int rng 2) (fun _ -> 1 + Rng.int rng 3) in
+  let machine = Machine.grid mdims in
+  let tensors =
+    List.map
+      (fun (name, shape) ->
+        Api.tensor_d name shape (gen_dist rng ~rank:(Array.length shape) ~mdims))
+      shapes
+  in
+  match Api.problem ~machine ~stmt ~tensors () with
+  | Error e -> QCheck.Test.fail_reportf "problem construction failed: %s" e
+  | Ok problem -> (
+      let schedule = gen_schedule rng ~lhs_vars ~rhs_vars in
+      match Api.compile problem ~schedule with
+      | Error e ->
+          QCheck.Test.fail_reportf "compile failed for %s with [%s]: %s" stmt
+            (String.concat "; " (List.map S.to_string schedule))
+            e
+      | Ok plan -> (
+          (* Attach communicate points for a random subset of tensors at
+             random loops, then re-lower. *)
+          let loops = current_loop_vars plan in
+          let extra =
+            List.filter_map
+              (fun (t : Api.tensor) ->
+                if Rng.int rng 2 = 0 && loops <> [] then
+                  Some
+                    (S.Communicate
+                       ([ t.Api.name ], List.nth loops (Rng.int rng (List.length loops))))
+                else None)
+              problem.Api.tensors
+          in
+          match Api.compile problem ~schedule:(schedule @ extra) with
+          | Error e ->
+              QCheck.Test.fail_reportf "re-compile failed for %s: %s" stmt e
+          | Ok plan -> (
+              match Api.validate ~seed plan with
+              | Ok () -> true
+              | Error e ->
+                  QCheck.Test.fail_reportf "MISMATCH for %s scheduled [%s]: %s" stmt
+                    (String.concat "; "
+                       (List.map S.to_string (schedule @ extra)))
+                    e)))
+
+let qcheck_fuzz =
+  QCheck.Test.make ~name:"random stmt x dist x schedule == serial" ~count:400
+    QCheck.small_nat
+    (fun seed -> fuzz_once (succ seed))
+
+(* Same game on hierarchical machines (node blocks) with two-level
+   distributions: level one over the first machine dimension, level two
+   over the second. *)
+let gen_dist2 rng ~rank ~mdims =
+  assert (Array.length mdims = 2);
+  let level sub_mdims suffix =
+    let tensor_axes = List.init rank (fun d -> Printf.sprintf "%s%d" suffix d) in
+    let available = ref tensor_axes in
+    let machine_axes =
+      List.init (Array.length sub_mdims) (fun m ->
+          match Rng.int rng 3 with
+          | 0 when !available <> [] ->
+              let ax = List.nth !available (Rng.int rng (List.length !available)) in
+              available := List.filter (fun a -> a <> ax) !available;
+              D.Part ax
+          | 1 -> D.Fix (Rng.int rng sub_mdims.(m))
+          | _ -> D.Bcast)
+    in
+    { D.tensor_axes; machine_axes }
+  in
+  [ level [| mdims.(0) |] "x"; level [| mdims.(1) |] "y" ]
+
+let fuzz_hierarchical seed =
+  let rng = Rng.create (seed * 7919) in
+  let stmt, shapes, lhs_vars, rhs_vars = gen_stmt rng in
+  let mdims = [| 1 + Rng.int rng 3; 1 + Rng.int rng 3 |] in
+  let machine =
+    Machine.grid ~node_factors:[| 1; mdims.(1) |] ~kind:Machine.Gpu
+      ~mem_per_proc:16e9 mdims
+  in
+  let tensors =
+    List.map
+      (fun (name, shape) ->
+        Api.tensor_d name shape (gen_dist2 rng ~rank:(Array.length shape) ~mdims))
+      shapes
+  in
+  match Api.problem ~machine ~stmt ~tensors () with
+  | Error e -> QCheck.Test.fail_reportf "problem failed: %s" e
+  | Ok problem -> (
+      let schedule = gen_schedule rng ~lhs_vars ~rhs_vars in
+      match Api.compile problem ~schedule with
+      | Error e -> QCheck.Test.fail_reportf "compile failed for %s: %s" stmt e
+      | Ok plan -> (
+          match Api.validate ~seed plan with
+          | Ok () -> true
+          | Error e ->
+              QCheck.Test.fail_reportf "MISMATCH (hierarchical) for %s: %s" stmt e))
+
+let qcheck_fuzz_hierarchical =
+  QCheck.Test.make ~name:"hierarchical dists x schedules == serial" ~count:250
+    QCheck.small_nat
+    (fun seed -> fuzz_hierarchical (succ seed))
+
+let suites =
+  [
+    ( "fuzz",
+      [
+        QCheck_alcotest.to_alcotest ~long:true qcheck_fuzz;
+        QCheck_alcotest.to_alcotest ~long:true qcheck_fuzz_hierarchical;
+      ] );
+  ]

@@ -1,0 +1,73 @@
+module Api = Distal.Api
+module Machine = Api.Machine
+module Gantt = Distal_runtime.Gantt
+module M = Distal_algorithms.Matmul
+
+let contains = Astring_contains.contains
+
+let trace_of plan =
+  let trace = ref [] in
+  let _ = Api.run_exn ~trace plan ~data:(Api.random_inputs plan) in
+  !trace
+
+let test_grid_view_fig12 () =
+  (* The rendered grid of B tiles for Cannon on 3x3 should show, at step 0,
+     row io holding tiles B(io, (io+jo) mod 3) — Fig. 12's left panel. *)
+  let machine = Machine.grid [| 3; 3 |] in
+  let alg = Result.get_ok (M.cannon ~n:9 ~machine) in
+  let view = Gantt.grid_view ~machine ~tensor:"B" (trace_of alg.M.plan) in
+  Alcotest.(check bool) "has steps" true (contains view "step 0:");
+  Alcotest.(check bool) "labels tiles" true (contains view "B(");
+  (* Processor (0,1) at step 0 receives B(0, (0+0+1) mod 3) = B(0,1)?
+     No: (0,1) owns B(0,1), needs B(0, kos=1) = its own tile -> '.'.
+     Processor (0,2) needs B(0,2) (local too). (1,0) needs B(1,1). *)
+  Alcotest.(check bool) "remote tile shown" true (contains view "B(1,1)")
+
+let test_grid_view_requires_2d () =
+  let machine = Machine.grid [| 3 |] in
+  match Gantt.grid_view ~machine ~tensor:"B" [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "1-D machine must be rejected"
+
+let test_summary () =
+  let machine = Machine.grid [| 2; 2 |] in
+  let alg = Result.get_ok (M.summa ~n:8 ~machine ()) in
+  let trace = trace_of alg.M.plan in
+  let s = Gantt.summary ~machine trace in
+  Alcotest.(check bool) "mentions copies" true (contains s "copies");
+  Alcotest.(check bool) "one line per step" true
+    (List.length (String.split_on_char '\n' s) >= 2)
+
+let test_parallelize_openmp () =
+  let machine = Machine.grid [| 2 |] in
+  let p =
+    Api.problem_exn ~machine ~stmt:"A(i,j) = B(i,j) + C(i,j)"
+      ~tensors:
+        [
+          Api.tensor "A" [| 4; 4 |] ~dist:"[x,y] -> [x]";
+          Api.tensor "B" [| 4; 4 |] ~dist:"[x,y] -> [x]";
+          Api.tensor "C" [| 4; 4 |] ~dist:"[x,y] -> [x]";
+        ]
+      ()
+  in
+  let plan =
+    Api.compile_script_exn p
+      ~schedule:
+        "divide(i, io, ii, 2); distribute(io); communicate({A,B,C}, io);\n\
+         parallelize(ii)"
+  in
+  (match Api.validate plan with Ok () -> () | Error e -> Alcotest.fail e);
+  let cpp = Distal_ir.Codegen_legion.emit plan.Api.program in
+  Alcotest.(check bool) "OpenMP pragma on ii" true
+    (contains cpp "#pragma omp parallel for  // parallelize(ii)")
+
+let suites =
+  [
+    ( "gantt",
+      [
+        Alcotest.test_case "grid view fig12" `Quick test_grid_view_fig12;
+        Alcotest.test_case "grid view 2d only" `Quick test_grid_view_requires_2d;
+        Alcotest.test_case "summary" `Quick test_summary;
+        Alcotest.test_case "parallelize -> openmp" `Quick test_parallelize_openmp;
+      ] );
+  ]

@@ -1,0 +1,176 @@
+(* Shape regression tests for the reproduced evaluation: the qualitative
+   claims of §7 (who wins, where the crossovers and OOMs fall) are pinned
+   here so model changes cannot silently break the reproduction. Small
+   node lists keep these fast; EXPERIMENTS.md records the full sweeps. *)
+
+module Fig15 = Distal_harness.Fig15
+module Fig16 = Distal_harness.Fig16
+module Figure = Distal_harness.Figure
+module Headline = Distal_harness.Headline
+
+let value fig name nodes =
+  match Figure.cell fig ~series_name:name ~nodes with
+  | Figure.Value v -> v
+  | Figure.Oom -> Alcotest.failf "%s@%d unexpectedly OOM" name nodes
+  | Figure.Unavailable -> Alcotest.failf "%s@%d unavailable" name nodes
+
+let is_oom fig name nodes = Figure.cell fig ~series_name:name ~nodes = Figure.Oom
+
+let ge name a b = Alcotest.(check bool) name true (a >= b)
+
+(* Small problem sizes: the model is scale-free enough for shapes. *)
+let fig15a = lazy (Fig15.cpu ~nodes:[ 1; 16; 64 ] ~base_n:2048 ())
+let fig15b = lazy (Fig15.gpu ~nodes:[ 1; 16; 64 ] ~base_n:20000 ())
+
+let test_cpu_distal_close_to_cosma () =
+  let f = Lazy.force fig15a in
+  List.iter
+    (fun nd ->
+      let ours = value f "our-summa" nd and cosma = value f "cosma" nd in
+      ge (Printf.sprintf "within 15%% at %d nodes" nd) ours (0.85 *. cosma);
+      ge "cosma ahead" cosma ours)
+    [ 1; 16; 64 ]
+
+let test_cpu_restricted_cosma_equals_distal () =
+  let f = Lazy.force fig15a in
+  let r = value f "cosma-restricted" 16 and ours = value f "our-summa" 16 in
+  Alcotest.(check bool) "equal within 2%" true (abs_float (r -. ours) /. ours < 0.02)
+
+let test_cpu_baselines_below_distal () =
+  let f = Lazy.force fig15a in
+  List.iter
+    (fun name ->
+      ge (name ^ " below DISTAL at 64") (value f "our-summa" 64) (value f name 64);
+      ge (name ^ " above 60% of DISTAL") (value f name 64)
+        (0.6 *. value f "our-summa" 64))
+    [ "ctf"; "scalapack" ]
+
+let test_gpu_single_node_2x_cosma () =
+  let f = Lazy.force fig15b in
+  let ours = value f "our-summa" 1 and cosma = value f "cosma" 1 in
+  Alcotest.(check bool) "~2x at one node" true (ours > 1.8 *. cosma && ours < 2.2 *. cosma)
+
+let test_gpu_cosma_wins_at_scale () =
+  let f = Lazy.force fig15b in
+  let best =
+    List.fold_left max 0.0
+      (List.map (fun s -> value f s 64) [ "our-summa"; "our-cannon"; "our-pumma" ])
+  in
+  ge "cosma ahead at 64 nodes" (value f "cosma" 64) best
+
+let test_gpu_systolic_ordering () =
+  let f = Lazy.force fig15b in
+  ge "cannon >= pumma at 64" (value f "our-cannon" 64) (value f "our-pumma" 64);
+  ge "pumma >= summa at 64" (value f "our-pumma" 64) (value f "our-summa" 64)
+
+let test_gpu_3d_oom_at_scale () =
+  let f = Lazy.force fig15b in
+  Alcotest.(check bool) "johnson oom at 64 nodes" true (is_oom f "our-johnson" 64);
+  Alcotest.(check bool) "our cosma oom at 64 nodes" true (is_oom f "our-cosma" 64);
+  Alcotest.(check bool) "authors' cosma never oom (CPU memory)" false
+    (is_oom f "cosma" 64)
+
+let fig16_nodes = [ 1; 16 ]
+
+let test_ttv_shapes () =
+  let f = Fig16.ttv ~nodes:fig16_nodes () in
+  (* DISTAL flat (no communication); CTF drops past one node. *)
+  let d1 = value f "distal-cpu" 1 and d16 = value f "distal-cpu" 16 in
+  Alcotest.(check bool) "distal flat" true (abs_float (d1 -. d16) /. d1 < 0.05);
+  ge "ctf drops" (value f "ctf-cpu" 1) (1.5 *. value f "ctf-cpu" 16);
+  ge "distal above ctf" d1 (value f "ctf-cpu" 1)
+
+let test_innerprod_shapes () =
+  let f = Fig16.innerprod ~nodes:fig16_nodes () in
+  let c1 = value f "ctf-cpu" 1 and c16 = value f "ctf-cpu" 16 in
+  Alcotest.(check bool) "ctf flat" true (abs_float (c1 -. c16) /. c1 < 0.05);
+  ge "distal 2x ctf" (value f "distal-cpu" 16) (1.8 *. c16)
+
+let test_ttm_shapes () =
+  let f = Fig16.ttm ~nodes:fig16_nodes () in
+  let d1 = value f "distal-cpu" 1 and d16 = value f "distal-cpu" 16 in
+  Alcotest.(check bool) "distal flat" true (abs_float (d1 -. d16) /. d1 < 0.05);
+  ge "ctf collapses" (value f "ctf-cpu" 1) (2.0 *. value f "ctf-cpu" 16)
+
+let test_mttkrp_shapes () =
+  let f = Fig16.mttkrp ~nodes:fig16_nodes () in
+  let c1 = value f "ctf-cpu" 1 and c16 = value f "ctf-cpu" 16 in
+  Alcotest.(check bool) "ctf flat but slow" true (abs_float (c1 -. c16) /. c1 < 0.15);
+  ge "distal above ctf at 16" (value f "distal-cpu" 16) (1.5 *. c16)
+
+let test_headline_rows () =
+  let f15 = Lazy.force fig15a in
+  let f16 =
+    ( Fig16.ttv ~nodes:fig16_nodes (),
+      Fig16.innerprod ~nodes:fig16_nodes (),
+      Fig16.ttm ~nodes:fig16_nodes (),
+      Fig16.mttkrp ~nodes:fig16_nodes () )
+  in
+  let rows = Headline.compute ~fig15a:f15 ~fig16:f16 ~nodes:16 in
+  Alcotest.(check int) "seven comparisons" 7 (List.length rows);
+  List.iter
+    (fun (r : Headline.row) ->
+      Alcotest.(check bool) (r.comparison ^ " finite") true
+        (Float.is_finite r.measured && r.measured > 0.0))
+    rows
+
+let test_weak_n () =
+  Alcotest.(check int) "base" 8192 (Fig15.weak_n ~base:8192 ~nodes:1);
+  Alcotest.(check int) "x4 nodes doubles n" 16384 (Fig15.weak_n ~base:8192 ~nodes:4);
+  Alcotest.(check bool) "multiple of 16" true (Fig15.weak_n ~base:8192 ~nodes:2 mod 16 = 0)
+
+let test_figure_printing () =
+  let f = Fig16.ttv ~nodes:[ 1 ] ~base_i:16 ~jk:16 () in
+  Alcotest.(check string) "cell format" "OOM" (Figure.cell_to_string Figure.Oom);
+  Alcotest.(check string) "dash" "-" (Figure.cell_to_string Figure.Unavailable);
+  Alcotest.(check bool) "value present" true
+    (match Figure.cell f ~series_name:"distal-cpu" ~nodes:1 with
+    | Figure.Value _ -> true
+    | _ -> false)
+
+let test_csv_export () =
+  let f = Fig16.ttv ~nodes:[ 1; 2 ] ~base_i:16 ~jk:16 () in
+  let csv = Figure.to_csv f in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + 2 rows" 3 (List.length lines);
+  Alcotest.(check string) "header" "nodes,distal-cpu,distal-gpu,ctf-cpu" (List.hd lines);
+  let dir = Filename.temp_file "distal" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let path = Figure.save_csv ~dir f in
+  Alcotest.(check bool) "file written" true (Sys.file_exists path);
+  Sys.remove path;
+  Sys.rmdir dir
+
+let test_strong_scaling_shapes () =
+  let module Machine = Distal_machine.Machine in
+  let f = Distal_harness.Strong.gemm ~nodes:[ 1; 4; 64 ] ~kind:Machine.Cpu () in
+  (* CPU strong scaling is near-linear while compute dominates. *)
+  let s64 = Figure.value_exn f ~series_name:"summa" ~nodes:64 in
+  Alcotest.(check bool) "near-linear on CPUs" true (s64 > 40.0);
+  let g = Distal_harness.Strong.gemm ~nodes:[ 1; 4; 64 ] ~kind:Machine.Gpu () in
+  let gs = Figure.value_exn g ~series_name:"summa" ~nodes:64 in
+  Alcotest.(check bool) "communication wall on GPUs" true (gs < 32.0)
+
+let suites =
+  [
+    ( "harness shapes",
+      [
+        Alcotest.test_case "cpu distal ~cosma" `Quick test_cpu_distal_close_to_cosma;
+        Alcotest.test_case "cpu restricted cosma" `Quick test_cpu_restricted_cosma_equals_distal;
+        Alcotest.test_case "cpu baselines below" `Quick test_cpu_baselines_below_distal;
+        Alcotest.test_case "gpu 2x at one node" `Quick test_gpu_single_node_2x_cosma;
+        Alcotest.test_case "gpu cosma at scale" `Quick test_gpu_cosma_wins_at_scale;
+        Alcotest.test_case "gpu systolic ordering" `Quick test_gpu_systolic_ordering;
+        Alcotest.test_case "gpu 3d oom" `Quick test_gpu_3d_oom_at_scale;
+        Alcotest.test_case "ttv shapes" `Quick test_ttv_shapes;
+        Alcotest.test_case "innerprod shapes" `Quick test_innerprod_shapes;
+        Alcotest.test_case "ttm shapes" `Quick test_ttm_shapes;
+        Alcotest.test_case "mttkrp shapes" `Quick test_mttkrp_shapes;
+        Alcotest.test_case "headline rows" `Quick test_headline_rows;
+        Alcotest.test_case "weak_n" `Quick test_weak_n;
+        Alcotest.test_case "figure printing" `Quick test_figure_printing;
+        Alcotest.test_case "csv export" `Quick test_csv_export;
+        Alcotest.test_case "strong scaling shapes" `Quick test_strong_scaling_shapes;
+      ] );
+  ]

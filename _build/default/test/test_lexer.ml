@@ -1,0 +1,102 @@
+module L = Distal_ir.Lexer
+
+let tok = Alcotest.testable (fun fmt t -> Fmt.string fmt (L.describe t)) ( = )
+
+let all s =
+  match L.of_string s with
+  | Error e -> Alcotest.failf "lex error: %s" e
+  | Ok lx ->
+      let rec go acc =
+        match L.next lx with L.Eof -> List.rev acc | t -> go (t :: acc)
+      in
+      go []
+
+let test_tokens () =
+  Alcotest.(check (list tok)) "mixed"
+    [
+      L.Ident "A"; L.Lparen; L.Ident "i"; L.Comma; L.Ident "j"; L.Rparen; L.Equal;
+      L.Ident "B"; L.Star; L.Int 42; L.Plus; L.Float 2.5;
+    ]
+    (all "A(i, j) = B * 42 + 2.5")
+
+let test_two_char_tokens () =
+  Alcotest.(check (list tok)) "arrow and pluseq" [ L.Arrow; L.PlusEqual ] (all "-> +=");
+  Alcotest.(check (list tok)) "minus then gt is not arrow" [ L.Minus; L.Minus ] (all "- -")
+
+let test_comments_and_whitespace () =
+  Alcotest.(check (list tok)) "comment skipped" [ L.Ident "x"; L.Semi; L.Ident "y" ]
+    (all "x; # everything here is ignored -> ( \n y")
+
+let test_brackets_braces () =
+  Alcotest.(check (list tok)) "all brackets"
+    [ L.Lbracket; L.Rbracket; L.Lbrace; L.Rbrace; L.Dot ]
+    (all "[]{}.")
+
+let test_identifiers () =
+  Alcotest.(check (list tok)) "underscores and digits"
+    [ L.Ident "_x1"; L.Ident "Ab_2" ]
+    (all "_x1 Ab_2")
+
+let test_lex_error () =
+  match L.of_string "a ? b" with
+  | Ok _ -> Alcotest.fail "expected a lex error"
+  | Error e -> Alcotest.(check bool) "mentions offset" true (Astring_contains.contains e "offset")
+
+let test_peek_does_not_consume () =
+  let lx = Result.get_ok (L.of_string "a b") in
+  Alcotest.(check tok) "peek" (L.Ident "a") (L.peek lx);
+  Alcotest.(check tok) "peek again" (L.Ident "a") (L.peek lx);
+  Alcotest.(check tok) "next" (L.Ident "a") (L.next lx);
+  Alcotest.(check tok) "advanced" (L.Ident "b") (L.next lx);
+  Alcotest.(check tok) "eof is sticky" L.Eof (L.next lx);
+  Alcotest.(check tok) "still eof" L.Eof (L.next lx)
+
+let test_expect () =
+  let lx = Result.get_ok (L.of_string "( x") in
+  Alcotest.(check bool) "expect ok" true (L.expect lx L.Lparen = Ok ());
+  match L.expect lx L.Rparen with
+  | Ok () -> Alcotest.fail "expected mismatch"
+  | Error e -> Alcotest.(check bool) "describes both" true (Astring_contains.contains e "')'")
+
+(* Task-IR pretty printing golden. *)
+let test_taskir_to_string () =
+  let machine = Distal.Api.Machine.grid [| 2 |] in
+  let p =
+    Distal.Api.problem_exn ~machine ~stmt:"A(i) = B(i)"
+      ~tensors:
+        [
+          Distal.Api.tensor "A" [| 4 |] ~dist:"[x] -> [x]";
+          Distal.Api.tensor "B" [| 4 |] ~dist:"[x] -> [x]";
+        ]
+      ()
+  in
+  let plan =
+    Distal.Api.compile_script_exn p
+      ~schedule:"divide(i, io, ii, 2); distribute(io); communicate({A,B}, io)"
+  in
+  let expected =
+    "// A(i) = B(i)\n\
+     index_task_launch (io) over [2] {\n\
+    \  ensure A[footprint]  // copy from owner partition\n\
+    \  ensure B[footprint]  // copy from owner partition\n\
+    \  leaf: forall (ii) { A(i) = B(i) }\n\
+     }\n"
+  in
+  Alcotest.(check string) "pretty task ir" expected
+    (Distal_ir.Taskir.to_string plan.Distal.Api.program)
+
+let suites =
+  [
+    ( "lexer",
+      [
+        Alcotest.test_case "tokens" `Quick test_tokens;
+        Alcotest.test_case "two-char tokens" `Quick test_two_char_tokens;
+        Alcotest.test_case "comments" `Quick test_comments_and_whitespace;
+        Alcotest.test_case "brackets" `Quick test_brackets_braces;
+        Alcotest.test_case "identifiers" `Quick test_identifiers;
+        Alcotest.test_case "lex error" `Quick test_lex_error;
+        Alcotest.test_case "peek/next" `Quick test_peek_does_not_consume;
+        Alcotest.test_case "expect" `Quick test_expect;
+        Alcotest.test_case "taskir golden" `Quick test_taskir_to_string;
+      ] );
+  ]

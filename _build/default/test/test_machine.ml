@@ -1,0 +1,171 @@
+module Machine = Distal_machine.Machine
+module Cost = Distal_machine.Cost_model
+
+let test_grid () =
+  let m = Machine.grid [| 3; 4 |] in
+  Alcotest.(check int) "procs" 12 (Machine.num_procs m);
+  Alcotest.(check int) "nodes" 12 (Machine.num_nodes m);
+  Alcotest.(check int) "dim" 2 (Machine.dim m);
+  Alcotest.(check int) "coords count" 12 (List.length (Machine.proc_coords m))
+
+let test_hierarchical () =
+  let m =
+    Machine.hierarchical ~node_dims:[| 2; 2 |] ~proc_dims:[| 4 |] ~kind:Machine.Gpu
+      ~mem_per_proc:16e9
+  in
+  Alcotest.(check int) "procs" 16 (Machine.num_procs m);
+  Alcotest.(check int) "nodes" 4 (Machine.num_nodes m);
+  Alcotest.(check bool) "same node" true
+    (Machine.same_node m [| 1; 0; 2 |] [| 1; 0; 3 |]);
+  Alcotest.(check bool) "different node" false
+    (Machine.same_node m [| 1; 0; 2 |] [| 1; 1; 2 |]);
+  Alcotest.(check (float 0.0)) "mem" 16e9 (Machine.mem_per_proc_bytes m)
+
+let test_linearize_roundtrip () =
+  let m = Machine.grid [| 2; 3; 2 |] in
+  List.iter
+    (fun c ->
+      Alcotest.(check (array int)) "roundtrip" c
+        (Machine.delinearize m (Machine.linearize m c)))
+    (Machine.proc_coords m)
+
+let test_flat_grid_single_node_per_proc () =
+  let m = Machine.grid [| 4 |] in
+  Alcotest.(check bool) "distinct nodes" false (Machine.same_node m [| 0 |] [| 1 |])
+
+let test_copy_time () =
+  let c = Cost.cpu_distal in
+  let t1 = Cost.copy_time c Cost.Inter ~bytes:1e9 in
+  let t2 = Cost.copy_time c Cost.Inter ~bytes:2e9 in
+  Alcotest.(check bool) "monotone in bytes" true (t2 > t1);
+  Alcotest.(check bool) "intra faster" true
+    (Cost.copy_time c Cost.Intra ~bytes:1e9 < t1)
+
+let test_collective_factor () =
+  Alcotest.(check (float 0.0)) "k=1" 0.0 (Cost.collective_factor 1);
+  Alcotest.(check (float 0.0)) "k=2" 1.0 (Cost.collective_factor 2);
+  Alcotest.(check (float 0.0)) "k=8" 3.0 (Cost.collective_factor 8);
+  Alcotest.(check (float 0.0)) "k=9" 4.0 (Cost.collective_factor 9)
+
+let test_broadcast_bandwidth_optimal () =
+  let c = Cost.gpu_distal in
+  let bytes = 1e8 in
+  let b2 = Cost.broadcast_time c Cost.Inter ~bytes ~receivers:2 in
+  let b16 = Cost.broadcast_time c Cost.Inter ~bytes ~receivers:16 in
+  let b256 = Cost.broadcast_time c Cost.Inter ~bytes ~receivers:256 in
+  (* Scatter/allgather: the bandwidth term saturates at 2x point-to-point
+     rather than growing with the fan-out. *)
+  let p2p = Cost.copy_time c Cost.Inter ~bytes in
+  Alcotest.(check bool) "grows with fan-out" true (b2 < b16 && b16 < b256);
+  Alcotest.(check bool) "saturates near 2x p2p" true
+    (b256 < 2.1 *. p2p && b16 > 1.7 *. p2p);
+  Alcotest.(check bool) "k=1 equals p2p bandwidth" true
+    (Cost.broadcast_time c Cost.Inter ~bytes ~receivers:1 < 1.05 *. p2p)
+
+let test_step_time_overlap () =
+  let full = { Cost.cpu_distal with overlap = 1.0 } in
+  let none = { Cost.cpu_distal with overlap = 0.0 } in
+  Alcotest.(check (float 1e-9)) "full overlap hides comm" 2.0
+    (Cost.step_time full ~compute:2.0 ~comm:1.0);
+  Alcotest.(check (float 1e-9)) "no overlap adds" 3.0
+    (Cost.step_time none ~compute:2.0 ~comm:1.0);
+  Alcotest.(check (float 1e-9)) "comm bound exposes residual" 5.0
+    (Cost.step_time full ~compute:2.0 ~comm:5.0)
+
+let test_compute_time () =
+  let c = Cost.cpu_distal in
+  let t = Cost.compute_time c ~flops:c.Cost.compute_rate ~bytes_touched:0.0 in
+  Alcotest.(check (float 1e-9)) "one second of flops" 1.0 t;
+  let t2 = Cost.compute_time c ~flops:1.0 ~bytes_touched:c.Cost.mem_bw in
+  Alcotest.(check (float 1e-9)) "bandwidth bound" 1.0 t2
+
+let test_presets_sane () =
+  List.iter
+    (fun (c : Cost.t) ->
+      Alcotest.(check bool) (c.name ^ " rates positive") true
+        (c.compute_rate > 0.0 && c.beta_inter > 0.0 && c.mem_bw > 0.0
+        && c.overlap >= 0.0 && c.overlap <= 1.0))
+    [
+      Cost.cpu_distal; Cost.cpu_full_node; Cost.cpu_no_overlap; Cost.cpu_ctf;
+      Cost.gpu_distal; Cost.gpu_cosma;
+    ];
+  Alcotest.(check bool) "gpu much faster than cpu" true
+    (Cost.gpu_distal.compute_rate > 5.0 *. Cost.cpu_distal.compute_rate)
+
+let test_with_ppn () =
+  let m = Machine.with_ppn [| 32; 32 |] ~ppn:4 in
+  (* The per-node processors are absorbed into the trailing dimension:
+     rows of four GPUs per node. *)
+  Alcotest.(check (array int)) "1x4 blocks" [| 1; 4 |] m.Machine.node_factors;
+  Alcotest.(check int) "node count" 256 (Machine.num_nodes m);
+  Alcotest.(check bool) "block-mates share a node" true
+    (Machine.same_node m [| 4; 4 |] [| 4; 7 |]);
+  Alcotest.(check bool) "across blocks" false (Machine.same_node m [| 4; 3 |] [| 4; 4 |]);
+  let cube = Machine.with_ppn [| 4; 4; 4 |] ~ppn:4 in
+  Alcotest.(check (array int)) "trailing dim absorbed" [| 1; 1; 4 |]
+    cube.Machine.node_factors;
+  (* No block decomposition of 4 into a [3] grid: falls back to one
+     processor per node. *)
+  let odd = Machine.with_ppn [| 3 |] ~ppn:4 in
+  Alcotest.(check int) "fallback" 3 (Machine.num_nodes odd)
+
+let test_fabric_time () =
+  let c = Cost.gpu_distal in
+  Alcotest.(check (float 0.0)) "single rack free" 0.0
+    (Cost.fabric_time c ~cross_rack_bytes:1e9 ~racks:1);
+  let t2 = Cost.fabric_time c ~cross_rack_bytes:1e9 ~racks:2 in
+  let t4 = Cost.fabric_time c ~cross_rack_bytes:1e9 ~racks:4 in
+  Alcotest.(check bool) "more racks, more aggregate uplink" true (t4 < t2);
+  Alcotest.(check bool) "positive" true (t2 > 0.0)
+
+let test_duplex_combination () =
+  let full = { Cost.cpu_distal with duplex = Cost.Full } in
+  let half = { Cost.cpu_distal with duplex = Cost.Half } in
+  Alcotest.(check (float 1e-12)) "full overlaps" 3.0
+    (Cost.combine_sr full ~send:3.0 ~recv:2.0);
+  Alcotest.(check (float 1e-12)) "half serializes" 5.0
+    (Cost.combine_sr half ~send:3.0 ~recv:2.0);
+  Alcotest.(check bool) "gpu model is half duplex" true
+    (Cost.gpu_distal.duplex = Cost.Half);
+  Alcotest.(check bool) "cosma gpu is full duplex" true
+    (Cost.gpu_cosma.duplex = Cost.Full)
+
+let test_rank_presets () =
+  Alcotest.(check bool) "rank rate is a quarter-ish of node rate" true
+    (Cost.cpu_rank_no_overlap.compute_rate < 0.3 *. Cost.cpu_no_overlap.compute_rate);
+  Alcotest.(check (float 0.0)) "no overlap" 0.0 Cost.cpu_rank_no_overlap.overlap;
+  Alcotest.(check bool) "ctf rank partially overlaps" true
+    (Cost.cpu_rank_ctf.overlap > 0.0 && Cost.cpu_rank_ctf.overlap < 1.0)
+
+let test_participant_send () =
+  let c = Cost.gpu_distal in
+  Alcotest.(check (float 0.0)) "single receiver forwards nothing" 0.0
+    (Cost.broadcast_participant_send c Cost.Inter ~bytes:1e6 ~receivers:1);
+  let s8 = Cost.broadcast_participant_send c Cost.Inter ~bytes:1e6 ~receivers:8 in
+  Alcotest.(check bool) "approaches one payload" true
+    (s8 > 0.8 *. 1e6 /. c.Cost.beta_inter && s8 < 1e6 /. c.Cost.beta_inter)
+
+let suites =
+  [
+    ( "machine",
+      [
+        Alcotest.test_case "grid" `Quick test_grid;
+        Alcotest.test_case "hierarchical" `Quick test_hierarchical;
+        Alcotest.test_case "linearize roundtrip" `Quick test_linearize_roundtrip;
+        Alcotest.test_case "flat nodes" `Quick test_flat_grid_single_node_per_proc;
+        Alcotest.test_case "with_ppn" `Quick test_with_ppn;
+      ] );
+    ( "cost model",
+      [
+        Alcotest.test_case "copy time" `Quick test_copy_time;
+        Alcotest.test_case "collective factor" `Quick test_collective_factor;
+        Alcotest.test_case "broadcast" `Quick test_broadcast_bandwidth_optimal;
+        Alcotest.test_case "overlap" `Quick test_step_time_overlap;
+        Alcotest.test_case "compute time" `Quick test_compute_time;
+        Alcotest.test_case "presets" `Quick test_presets_sane;
+        Alcotest.test_case "fabric" `Quick test_fabric_time;
+        Alcotest.test_case "duplex" `Quick test_duplex_combination;
+        Alcotest.test_case "rank presets" `Quick test_rank_presets;
+        Alcotest.test_case "participant send" `Quick test_participant_send;
+      ] );
+  ]

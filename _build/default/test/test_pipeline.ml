@@ -1,0 +1,127 @@
+module Api = Distal.Api
+module Machine = Api.Machine
+module Stats = Api.Stats
+module P = Distal_ir.Precompute
+module Parser = Distal_ir.Einsum_parser
+module Expr = Distal_ir.Expr
+
+let test_precompute_split () =
+  let stmt = Parser.parse_exn "A(i,l) = B(i,j,k) * C(j,l) * D(k,l)" in
+  match P.split stmt ~factors:[ "C"; "D" ] ~workspace:"W" with
+  | Error e -> Alcotest.fail e
+  | Ok (ws, rewritten) ->
+      Alcotest.(check string) "workspace stmt" "W(j,l,k) = C(j,l) * D(k,l)"
+        (Expr.to_string ws);
+      Alcotest.(check string) "rewritten stmt" "A(i,l) = B(i,j,k) * W(j,l,k)"
+        (Expr.to_string rewritten);
+      let shapes =
+        [ ("A", [| 4; 3 |]); ("B", [| 4; 5; 6 |]); ("C", [| 5; 3 |]); ("D", [| 6; 3 |]) ]
+      in
+      Alcotest.(check (array int)) "workspace shape" [| 5; 3; 6 |]
+        (P.workspace_shape stmt ~shapes ~workspace_stmt:ws)
+
+let test_precompute_errors () =
+  let stmt = Parser.parse_exn "A(i,l) = B(i,j,k) * C(j,l) * D(k,l)" in
+  let expect_err factors workspace =
+    match P.split stmt ~factors ~workspace with
+    | Ok _ -> Alcotest.fail "expected precompute error"
+    | Error _ -> ()
+  in
+  expect_err [ "B"; "C"; "D" ] "W" (* cannot hoist everything *);
+  expect_err [ "Z" ] "W" (* unknown factor *);
+  expect_err [ "C" ] "A" (* workspace name collision *);
+  let sum = Parser.parse_exn "A(i) = B(i) + C(i)" in
+  match P.split sum ~factors:[ "B" ] ~workspace:"W" with
+  | Ok _ -> Alcotest.fail "sum statements cannot be split"
+  | Error _ -> ()
+
+(* The workspace split of MTTKRP (CTF's strategy, expressed inside DISTAL)
+   must compute the same values as the fused kernel. *)
+let mttkrp_pipeline () =
+  let machine = Machine.grid [| 2; 2 |] in
+  let i, j, k, l = 8, 6, 4, 3 in
+  let stmt = Parser.parse_exn "A(i,l) = B(i,j,k) * C(j,l) * D(k,l)" in
+  let ws, rewritten = Result.get_ok (P.split stmt ~factors:[ "C"; "D" ] ~workspace:"W") in
+  let shapes =
+    [ ("A", [| i; l |]); ("B", [| i; j; k |]); ("C", [| j; l |]); ("D", [| k; l |]) ]
+  in
+  let wshape = P.workspace_shape stmt ~shapes ~workspace_stmt:ws in
+  let tensors =
+    [
+      Api.tensor "A" [| i; l |] ~dist:"[x,y] -> [x,*]";
+      Api.tensor "B" [| i; j; k |] ~dist:"[x,y,z] -> [x,y]";
+      Api.tensor "C" [| j; l |] ~dist:"[x,y] -> [*,*]";
+      Api.tensor "D" [| k; l |] ~dist:"[x,y] -> [*,*]";
+      Api.tensor "W" wshape ~dist:"[x,y,z] -> [*,*]";
+    ]
+  in
+  Result.get_ok
+    (Api.pipeline_script ~machine ~tensors
+       ~stages:
+         [
+           (Expr.to_string ws, "divide(j, jo, ji, 2); distribute(jo); communicate({W,C,D}, jo)");
+           ( Expr.to_string rewritten,
+             "distribute_onto({i,j}, {io,jo}, {ii,ji}, [2,2]);\n\
+              communicate({A,B,W}, jo)" );
+         ])
+
+let test_pipeline_validates () =
+  match Api.validate_pipeline (mttkrp_pipeline ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_pipeline_stats_accumulate () =
+  let pl = mttkrp_pipeline () in
+  let s = Api.estimate_pipeline pl in
+  Alcotest.(check bool) "two stages of tasks" true (s.Stats.tasks >= 6);
+  Alcotest.(check bool) "positive time" true (s.Stats.time > 0.0)
+
+let test_pipeline_stage_feeds_next () =
+  (* D = (B*C) * E as two gemms through an explicit intermediate. *)
+  let machine = Machine.grid [| 2 |] in
+  let n = 6 in
+  let t name dist = Api.tensor name [| n; n |] ~dist in
+  let pl =
+    Result.get_ok
+      (Api.pipeline_script ~machine
+         ~tensors:
+           [
+             t "M" "[x,y] -> [x]"; t "B" "[x,y] -> [x]"; t "C" "[x,y] -> [*]";
+             t "E" "[x,y] -> [*]"; t "D" "[x,y] -> [x]";
+           ]
+         ~stages:
+           [
+             ("M(i,j) = B(i,k) * C(k,j)",
+              "divide(i, io, ii, 2); distribute(io); communicate({M,B,C}, io);\n\
+               substitute({ii,j,k}, gemm)");
+             ("D(i,j) = M(i,k) * E(k,j)",
+              "divide(i, io, ii, 2); distribute(io); communicate({D,M,E}, io);\n\
+               substitute({ii,j,k}, gemm)");
+           ])
+  in
+  match Api.validate_pipeline pl with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_pipeline_bad_stage_rejected () =
+  let machine = Machine.grid [| 2 |] in
+  match
+    Api.pipeline_script ~machine
+      ~tensors:[ Api.tensor "A" [| 4 |] ~dist:"[x] -> [x]" ]
+      ~stages:[ ("A(i) = Nope(i)", "") ]
+  with
+  | Ok _ -> Alcotest.fail "undeclared tensor in a stage must be rejected"
+  | Error _ -> ()
+
+let suites =
+  [
+    ( "precompute & pipelines",
+      [
+        Alcotest.test_case "precompute split" `Quick test_precompute_split;
+        Alcotest.test_case "precompute errors" `Quick test_precompute_errors;
+        Alcotest.test_case "mttkrp via workspace" `Quick test_pipeline_validates;
+        Alcotest.test_case "pipeline stats" `Quick test_pipeline_stats_accumulate;
+        Alcotest.test_case "two-gemm chain" `Quick test_pipeline_stage_feeds_next;
+        Alcotest.test_case "bad stage" `Quick test_pipeline_bad_stage_rejected;
+      ] );
+  ]

@@ -1,0 +1,223 @@
+module Api = Distal.Api
+module Machine = Api.Machine
+module Dense = Api.Dense
+module Exec = Api.Exec
+module Stats = Api.Stats
+module Rng = Distal_support.Rng
+
+let gemm_problem ?(n = 8) ?(machine = Machine.grid [| 2; 2 |]) () =
+  Api.problem_exn ~machine ~stmt:"A(i,j) = B(i,k) * C(k,j)"
+    ~tensors:
+      [
+        Api.tensor "A" [| n; n |] ~dist:"[x,y] -> [x,y]";
+        Api.tensor "B" [| n; n |] ~dist:"[x,y] -> [x,y]";
+        Api.tensor "C" [| n; n |] ~dist:"[x,y] -> [x,y]";
+      ] ()
+
+let summa_script =
+  "distribute_onto({i,j}, {io,jo}, {ii,ji}, [2,2]); split(k, ko, ki, 4);\n\
+   reorder(ko, ii, ji, ki); communicate(A, jo); communicate({B,C}, ko);\n\
+   substitute({ii,ji,ki}, gemm)"
+
+let test_serial_reference_gemm () =
+  let rng = Rng.create 11 in
+  let shapes = [ ("A", [| 4; 5 |]); ("B", [| 4; 3 |]); ("C", [| 3; 5 |]) ] in
+  let b = Dense.random rng [| 4; 3 |] and c = Dense.random rng [| 3; 5 |] in
+  let stmt = Distal_ir.Einsum_parser.parse_exn "A(i,j) = B(i,k) * C(k,j)" in
+  let got = Exec.serial_reference stmt ~shapes ~data:[ ("B", b); ("C", c) ] in
+  let expected = Dense.create [| 4; 5 |] in
+  Distal_tensor.Kernels.gemm ~a:expected ~b ~c;
+  Alcotest.(check bool) "matches kernel" true (Dense.approx_equal got expected)
+
+let test_serial_reference_accum () =
+  let rng = Rng.create 12 in
+  let shapes = [ ("A", [| 3 |]); ("B", [| 3 |]) ] in
+  let a0 = Dense.random rng [| 3 |] and b = Dense.random rng [| 3 |] in
+  let stmt = Distal_ir.Einsum_parser.parse_exn "A(i) += B(i)" in
+  let got = Exec.serial_reference stmt ~shapes ~data:[ ("A", a0); ("B", b) ] in
+  for i = 0 to 2 do
+    Alcotest.(check (float 1e-12)) "sum" (Dense.get a0 [| i |] +. Dense.get b [| i |])
+      (Dense.get got [| i |])
+  done
+
+let test_summa_validates () =
+  let plan = Api.compile_script_exn (gemm_problem ()) ~schedule:summa_script in
+  match Api.validate plan with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_model_mode_no_output () =
+  let plan = Api.compile_script_exn (gemm_problem ()) ~schedule:summa_script in
+  let r = Result.get_ok (Api.run ~mode:Exec.Model plan ~data:[]) in
+  Alcotest.(check bool) "no output" true (r.Exec.output = None);
+  Alcotest.(check bool) "time positive" true (r.Exec.stats.Stats.time > 0.0)
+
+let test_model_matches_full_stats () =
+  (* The event simulation must be identical whether or not data moves. *)
+  let plan = Api.compile_script_exn (gemm_problem ()) ~schedule:summa_script in
+  let full = (Api.run_exn plan ~data:(Api.random_inputs plan)).Exec.stats in
+  let model = Api.estimate plan in
+  Alcotest.(check (float 1e-12)) "same time" full.Stats.time model.Stats.time;
+  Alcotest.(check int) "same messages" full.Stats.messages model.Stats.messages;
+  Alcotest.(check (float 1e-6)) "same flops" full.Stats.flops model.Stats.flops
+
+let test_stats_accounting () =
+  let plan = Api.compile_script_exn (gemm_problem ~n:8 ()) ~schedule:summa_script in
+  let stats = Api.estimate plan in
+  (* 4 tasks; each needs remote chunks of B and C at each of 2 ko steps,
+     minus the locally owned halves. *)
+  Alcotest.(check int) "tasks" 4 stats.Stats.tasks;
+  Alcotest.(check int) "steps" 2 stats.Stats.steps;
+  Alcotest.(check (float 1.0)) "gemm flops" (2.0 *. 8.0 *. 8.0 *. 8.0) stats.Stats.flops;
+  Alcotest.(check bool) "some communication" true
+    (stats.Stats.bytes_intra +. stats.Stats.bytes_inter > 0.0);
+  Alcotest.(check bool) "not everything moves" true
+    (stats.Stats.bytes_intra +. stats.Stats.bytes_inter < 3.0 *. 8.0 *. 64.0)
+
+let test_local_schedule_no_comm () =
+  (* TTV distributed over i with matching row distributions and a
+     replicated vector: zero communication (§7.2.2). *)
+  let machine = Machine.grid [| 4 |] in
+  let p =
+    Api.problem_exn ~machine ~stmt:"A(i,j) = B(i,j,k) * c(k)"
+      ~tensors:
+        [
+          Api.tensor "A" [| 8; 4 |] ~dist:"[x,y] -> [x]";
+          Api.tensor "B" [| 8; 4; 4 |] ~dist:"[x,y,z] -> [x]";
+          Api.tensor "c" [| 4 |] ~dist:"[x] -> [*]";
+        ] ()
+  in
+  let plan =
+    Api.compile_script_exn p
+      ~schedule:
+        "divide(i, io, ii, 4); distribute(io); communicate({A,B,c}, io);\n\
+         substitute({ii,j,k}, ttv)"
+  in
+  (match Api.validate plan with Ok () -> () | Error e -> Alcotest.fail e);
+  let stats = Api.estimate plan in
+  Alcotest.(check (float 0.0)) "no inter bytes" 0.0 stats.Stats.bytes_inter;
+  Alcotest.(check (float 0.0)) "no intra bytes" 0.0 stats.Stats.bytes_intra
+
+let test_broadcast_grouping () =
+  (* One owner serving the same block to every processor in a row is a
+     broadcast: message count reflects per-receiver copies. *)
+  let machine = Machine.grid [| 1; 4 |] in
+  let p =
+    Api.problem_exn ~machine ~stmt:"A(i,j) = B(i,k) * C(k,j)"
+      ~tensors:
+        [
+          Api.tensor "A" [| 4; 8 |] ~dist:"[x,y] -> [x,y]";
+          Api.tensor "B" [| 4; 4 |] ~dist:"[x,y] -> [x,y]";
+          Api.tensor "C" [| 4; 8 |] ~dist:"[x,y] -> [x,y]";
+        ] ()
+  in
+  let plan =
+    Api.compile_script_exn p
+      ~schedule:
+        "distribute_onto({i,j}, {io,jo}, {ii,ji}, [1,4]);\n\
+         communicate(A, jo); communicate({B,C}, jo); substitute({ii,ji,k}, gemm)"
+  in
+  (match Api.validate plan with Ok () -> () | Error e -> Alcotest.fail e);
+  let stats = Api.estimate plan in
+  (* B's single 4x4 tile lives on (0,0) and is broadcast to the other 3. *)
+  Alcotest.(check bool) "broadcast messages counted" true (stats.Stats.messages >= 3)
+
+let test_reduction_schedule () =
+  (* Distribute the k loop: partial sums must be reduced into A. *)
+  let machine = Machine.grid [| 4 |] in
+  let p =
+    Api.problem_exn ~machine ~stmt:"A(i,j) = B(i,k) * C(k,j)"
+      ~tensors:
+        [
+          Api.tensor "A" [| 4; 4 |] ~dist:"[x,y] -> [0]";
+          Api.tensor "B" [| 4; 8 |] ~dist:"[x,y] -> [y]";
+          Api.tensor "C" [| 8; 4 |] ~dist:"[x,y] -> [x]";
+        ] ()
+  in
+  let plan =
+    Api.compile_script_exn p
+      ~schedule:
+        "divide(k, ko, ki, 4); reorder(ko, i, j, ki); distribute(ko);\n\
+         communicate({A,B,C}, ko); substitute({i,j,ki}, gemm)"
+  in
+  match Api.validate plan with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_peak_memory_and_oom () =
+  let tiny = Machine.grid ~mem_per_proc:100.0 [| 2; 2 |] in
+  let plan =
+    Api.compile_script_exn (gemm_problem ~machine:tiny ()) ~schedule:summa_script
+  in
+  let stats = Api.estimate plan in
+  Alcotest.(check bool) "oom flagged" true stats.Stats.oom;
+  let plan2 = Api.compile_script_exn (gemm_problem ()) ~schedule:summa_script in
+  let stats2 = Api.estimate plan2 in
+  Alcotest.(check bool) "no oom with room" false stats2.Stats.oom;
+  Alcotest.(check bool) "peak includes tiles" true (stats2.Stats.peak_mem > 0.0)
+
+let test_redistribute () =
+  let machine = Machine.grid [| 4 |] in
+  let rows = Api.Distnot.parse_exn "[x,y] -> [x]" in
+  let cols = Api.Distnot.parse_exn "[x,y] -> [y]" in
+  let st = Api.redistribute ~machine ~shape:[| 8; 8 |] ~src:rows ~dst:cols () in
+  Alcotest.(check bool) "moves data" true (st.Stats.bytes_inter > 0.0);
+  let same = Api.redistribute ~machine ~shape:[| 8; 8 |] ~src:rows ~dst:rows () in
+  Alcotest.(check (float 0.0)) "same layout is free" 0.0
+    (same.Stats.bytes_inter +. same.Stats.bytes_intra)
+
+let test_describe () =
+  let plan = Api.compile_script_exn (gemm_problem ()) ~schedule:summa_script in
+  let s = Api.describe plan in
+  Alcotest.(check bool) "shows cin and taskir" true
+    (Astring_contains.contains s "concrete index notation"
+    && Astring_contains.contains s "index_task_launch")
+
+let test_missing_distribution_rejected () =
+  let machine = Machine.grid [| 2 |] in
+  match
+    Api.problem ~machine ~stmt:"A(i) = B(i)"
+      ~tensors:[ Api.tensor "A" [| 4 |] ~dist:"[x] -> [x]" ] ()
+  with
+  | Ok _ -> Alcotest.fail "undeclared tensor must be rejected"
+  | Error _ -> ()
+
+let test_scalar_output_innerprod () =
+  let machine = Machine.grid [| 2 |] in
+  let p =
+    Api.problem_exn ~machine ~stmt:"a = B(i,j,k) * C(i,j,k)"
+      ~tensors:
+        [
+          Api.tensor "a" [||] ~dist:"[] -> [0]";
+          Api.tensor "B" [| 4; 3; 3 |] ~dist:"[x,y,z] -> [x]";
+          Api.tensor "C" [| 4; 3; 3 |] ~dist:"[x,y,z] -> [x]";
+        ] ()
+  in
+  let plan =
+    Api.compile_script_exn p
+      ~schedule:
+        "divide(i, io, ii, 2); distribute(io); communicate({a,B,C}, io);\n\
+         substitute({ii,j,k}, innerprod)"
+  in
+  match Api.validate plan with Ok () -> () | Error e -> Alcotest.fail e
+
+let suites =
+  [
+    ( "runtime",
+      [
+        Alcotest.test_case "serial reference gemm" `Quick test_serial_reference_gemm;
+        Alcotest.test_case "serial reference accum" `Quick test_serial_reference_accum;
+        Alcotest.test_case "summa validates" `Quick test_summa_validates;
+        Alcotest.test_case "model mode" `Quick test_model_mode_no_output;
+        Alcotest.test_case "model = full stats" `Quick test_model_matches_full_stats;
+        Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
+        Alcotest.test_case "local schedule no comm" `Quick test_local_schedule_no_comm;
+        Alcotest.test_case "broadcast grouping" `Quick test_broadcast_grouping;
+        Alcotest.test_case "distributed reduction" `Quick test_reduction_schedule;
+        Alcotest.test_case "peak memory / oom" `Quick test_peak_memory_and_oom;
+        Alcotest.test_case "redistribute" `Quick test_redistribute;
+        Alcotest.test_case "describe" `Quick test_describe;
+        Alcotest.test_case "missing declaration" `Quick test_missing_distribution_rejected;
+        Alcotest.test_case "scalar innerprod" `Quick test_scalar_output_innerprod;
+      ] );
+  ]

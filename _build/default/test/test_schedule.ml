@@ -1,0 +1,166 @@
+module P = Distal_ir.Einsum_parser
+module Cin = Distal_ir.Cin
+module S = Distal_ir.Schedule
+
+let shapes = [ ("A", [| 8; 8 |]); ("B", [| 8; 8 |]); ("C", [| 8; 8 |]) ]
+
+let gemm_cin () =
+  Result.get_ok (Cin.of_stmt (P.parse_exn "A(i,j) = B(i,k) * C(k,j)") ~shapes)
+
+let apply_all cin cmds = Result.get_ok (S.apply_all cin cmds)
+
+let expect_error cin cmds =
+  match S.apply_all cin cmds with
+  | Ok _ -> Alcotest.fail "expected scheduling error"
+  | Error _ -> ()
+
+let loop_vars cin = Cin.loop_vars cin
+
+let test_initial_loop_order () =
+  Alcotest.(check (list string)) "left-to-right" [ "i"; "j"; "k" ] (loop_vars (gemm_cin ()))
+
+let test_divide () =
+  let cin = apply_all (gemm_cin ()) [ S.Divide ("i", "io", "ii", 2) ] in
+  Alcotest.(check (list string)) "io ii in place" [ "io"; "ii"; "j"; "k" ] (loop_vars cin)
+
+let test_reorder_in_slots () =
+  let cin =
+    apply_all (gemm_cin ())
+      [ S.Divide ("i", "io", "ii", 2); S.Divide ("j", "jo", "ji", 2);
+        S.Reorder [ "io"; "jo"; "ii"; "ji" ] ]
+  in
+  Alcotest.(check (list string)) "reordered" [ "io"; "jo"; "ii"; "ji"; "k" ] (loop_vars cin)
+
+let test_reorder_partial () =
+  (* Reordering a subset only permutes those slots (k stays innermost). *)
+  let cin = apply_all (gemm_cin ()) [ S.Reorder [ "j"; "i" ] ] in
+  Alcotest.(check (list string)) "swap" [ "j"; "i"; "k" ] (loop_vars cin)
+
+let test_distribute_onto () =
+  let cin =
+    apply_all (gemm_cin ())
+      [ S.Distribute_onto
+          { targets = [ "i"; "j" ]; dist = [ "io"; "jo" ]; local = [ "ii"; "ji" ];
+            grid = [| 2; 4 |] } ]
+  in
+  Alcotest.(check (list string)) "dist outermost" [ "io"; "jo"; "ii"; "ji"; "k" ]
+    (loop_vars cin);
+  Alcotest.(check (list string)) "distributed" [ "io"; "jo" ] (Cin.distributed_vars cin)
+
+let test_collapse () =
+  let cin = apply_all (gemm_cin ()) [ S.Collapse ("i", "j", "f") ] in
+  Alcotest.(check (list string)) "fused" [ "f"; "k" ] (loop_vars cin)
+
+let test_collapse_requires_adjacent () =
+  expect_error (gemm_cin ()) [ S.Collapse ("i", "k", "f") ]
+
+let test_rotate () =
+  let cin =
+    apply_all (gemm_cin ())
+      [ S.Distribute_onto
+          { targets = [ "i"; "j" ]; dist = [ "io"; "jo" ]; local = [ "ii"; "ji" ];
+            grid = [| 2; 2 |] };
+        S.Divide ("k", "ko", "ki", 2);
+        S.Reorder [ "ko"; "ii"; "ji"; "ki" ];
+        S.Rotate { target = "ko"; by = [ "io"; "jo" ]; result = "kos" } ]
+  in
+  Alcotest.(check (list string)) "rotated var replaces target"
+    [ "io"; "jo"; "kos"; "ii"; "ji"; "ki" ] (loop_vars cin)
+
+let test_rotate_requires_enclosing () =
+  (* Rotating by variables that do not enclose the target is invalid. *)
+  expect_error (gemm_cin ())
+    [ S.Rotate { target = "i"; by = [ "k" ]; result = "is" } ]
+
+let test_communicate_unknown_tensor () =
+  expect_error (gemm_cin ()) [ S.Communicate ([ "Z" ], "i") ]
+
+let test_unknown_loop () =
+  expect_error (gemm_cin ()) [ S.Divide ("z", "zo", "zi", 2) ];
+  expect_error (gemm_cin ()) [ S.Reorder [ "i"; "z" ] ]
+
+let test_substitute_innermost_only () =
+  let cin = apply_all (gemm_cin ()) [ S.Substitute ([ "i"; "j"; "k" ], "gemm") ] in
+  (match cin.Cin.substituted with
+  | Some (_, "gemm") -> ()
+  | _ -> Alcotest.fail "expected substitution recorded");
+  expect_error (gemm_cin ()) [ S.Substitute ([ "i"; "j" ], "gemm") ];
+  expect_error (gemm_cin ()) [ S.Substitute ([ "j"; "k" ], "nosuchkernel") ]
+
+let test_parallelize_annotation () =
+  let cin = apply_all (gemm_cin ()) [ S.Parallelize "i" ] in
+  let l = List.hd cin.Cin.loops in
+  Alcotest.(check bool) "annotated" true (List.mem Cin.Parallelized l.Cin.annots)
+
+let test_duplicate_divide_rejected () =
+  expect_error (gemm_cin ())
+    [ S.Divide ("i", "io", "ii", 2); S.Divide ("i", "x", "y", 2) ]
+
+let test_script_parse () =
+  let script =
+    "distribute_onto({i,j}, {io,jo}, {ii,ji}, [2,2]);\n\
+     split(k, ko, ki, 4); reorder(ko, ii, ji, ki);\n\
+     # a comment\n\
+     communicate(A, jo); communicate({B,C}, ko);\n\
+     rotate(ko, {io,jo}, kos);\n\
+     substitute({ii,ji,ki}, gemm)"
+  in
+  match S.parse script with
+  | Error e -> Alcotest.failf "script parse failed: %s" e
+  | Ok cmds ->
+      Alcotest.(check int) "seven commands" 7 (List.length cmds);
+      Alcotest.(check string) "first" "distribute_onto({i,j}, {io,jo}, {ii,ji}, [2,2])"
+        (S.to_string (List.hd cmds))
+
+let test_script_fluent_dots () =
+  (* The fluent ".divide(...).reorder(...)" style of Fig. 2 is accepted. *)
+  match S.parse ".divide(i, io, ii, 2).reorder(io, ii)" with
+  | Ok [ S.Divide _; S.Reorder _ ] -> ()
+  | Ok _ -> Alcotest.fail "wrong commands"
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_script_errors () =
+  List.iter
+    (fun s ->
+      match S.parse s with
+      | Ok _ -> Alcotest.failf "expected script error for %S" s
+      | Error _ -> ())
+    [ "frobnicate(i)"; "divide(i, io, ii)"; "divide(i io ii 2)"; "reorder(" ]
+
+let test_cin_to_string () =
+  let cin =
+    apply_all (gemm_cin ())
+      [ S.Distribute_onto
+          { targets = [ "i"; "j" ]; dist = [ "io"; "jo" ]; local = [ "ii"; "ji" ];
+            grid = [| 2; 2 |] };
+        S.Communicate ([ "A" ], "jo") ]
+  in
+  let s = Cin.to_string cin in
+  Alcotest.(check bool) "shows dist" true (Astring_contains.contains s "forall io[dist]");
+  Alcotest.(check bool) "shows comm" true
+    (Astring_contains.contains s "forall jo[dist; comm A]")
+
+let suites =
+  [
+    ( "schedule",
+      [
+        Alcotest.test_case "initial order" `Quick test_initial_loop_order;
+        Alcotest.test_case "divide" `Quick test_divide;
+        Alcotest.test_case "reorder in slots" `Quick test_reorder_in_slots;
+        Alcotest.test_case "reorder partial" `Quick test_reorder_partial;
+        Alcotest.test_case "distribute_onto" `Quick test_distribute_onto;
+        Alcotest.test_case "collapse" `Quick test_collapse;
+        Alcotest.test_case "collapse adjacency" `Quick test_collapse_requires_adjacent;
+        Alcotest.test_case "rotate" `Quick test_rotate;
+        Alcotest.test_case "rotate enclosing" `Quick test_rotate_requires_enclosing;
+        Alcotest.test_case "communicate unknown tensor" `Quick test_communicate_unknown_tensor;
+        Alcotest.test_case "unknown loop" `Quick test_unknown_loop;
+        Alcotest.test_case "substitute innermost" `Quick test_substitute_innermost_only;
+        Alcotest.test_case "parallelize" `Quick test_parallelize_annotation;
+        Alcotest.test_case "duplicate divide" `Quick test_duplicate_divide_rejected;
+        Alcotest.test_case "script parse" `Quick test_script_parse;
+        Alcotest.test_case "fluent dots" `Quick test_script_fluent_dots;
+        Alcotest.test_case "script errors" `Quick test_script_errors;
+        Alcotest.test_case "cin to_string" `Quick test_cin_to_string;
+      ] );
+  ]

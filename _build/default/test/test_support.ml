@@ -1,0 +1,105 @@
+module Ints = Distal_support.Ints
+module Rng = Distal_support.Rng
+
+let check_int = Alcotest.(check int)
+
+let test_prod () =
+  check_int "prod empty" 1 (Ints.prod [||]);
+  check_int "prod" 24 (Ints.prod [| 2; 3; 4 |])
+
+let test_ceil_div () =
+  check_int "exact" 4 (Ints.ceil_div 12 3);
+  check_int "round up" 5 (Ints.ceil_div 13 3);
+  check_int "one" 1 (Ints.ceil_div 1 100);
+  check_int "zero" 0 (Ints.ceil_div 0 3)
+
+let test_strides () =
+  Alcotest.(check (array int)) "row major" [| 12; 4; 1 |]
+    (Ints.row_major_strides [| 2; 3; 4 |])
+
+let test_linearize_roundtrip () =
+  let dims = [| 3; 4; 5 |] in
+  for i = 0 to Ints.prod dims - 1 do
+    check_int "roundtrip" i (Ints.linearize ~dims (Ints.delinearize ~dims i))
+  done
+
+let test_iter_box_order () =
+  let seen = ref [] in
+  Ints.iter_box [| 2; 2 |] (fun c -> seen := Array.to_list c :: !seen);
+  Alcotest.(check (list (list int)))
+    "row-major order"
+    [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ]
+    (List.rev !seen)
+
+let test_take_drop () =
+  Alcotest.(check (array int)) "take" [| 1; 2 |] (Ints.take 2 [| 1; 2; 3 |]);
+  Alcotest.(check (array int)) "drop" [| 3 |] (Ints.drop 2 [| 1; 2; 3 |])
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 1.0 in
+    Alcotest.(check bool) "in range" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_rng_int_range () =
+  let rng = Rng.create 5 in
+  let seen = Array.make 7 false in
+  for _ = 1 to 2000 do
+    let x = Rng.int rng 7 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 7);
+    seen.(x) <- true
+  done;
+  Alcotest.(check bool) "all values reached" true (Array.for_all Fun.id seen)
+
+let test_rng_split_independent () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "streams differ" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_table () =
+  let t = Distal_support.Table.create ~header:[ "x"; "yy" ] in
+  Distal_support.Table.add_row t [ "1"; "2" ];
+  let tmp = Filename.temp_file "table" ".txt" in
+  let oc = open_out tmp in
+  Distal_support.Table.print ~oc t;
+  close_out oc;
+  let ic = open_in tmp in
+  let line1 = input_line ic in
+  close_in ic;
+  Sys.remove tmp;
+  Alcotest.(check string) "header" "  x  yy" line1
+
+let qcheck_linearize =
+  QCheck.Test.make ~name:"linearize/delinearize roundtrip" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 4) (int_range 1 6)) small_nat)
+    (fun (dims_l, seed) ->
+      let dims = Array.of_list dims_l in
+      let n = Ints.prod dims in
+      let i = seed mod n in
+      Ints.linearize ~dims (Ints.delinearize ~dims i) = i)
+
+let suites =
+  [
+    ( "support",
+      [
+        Alcotest.test_case "prod" `Quick test_prod;
+        Alcotest.test_case "ceil_div" `Quick test_ceil_div;
+        Alcotest.test_case "strides" `Quick test_strides;
+        Alcotest.test_case "linearize roundtrip" `Quick test_linearize_roundtrip;
+        Alcotest.test_case "iter_box order" `Quick test_iter_box_order;
+        Alcotest.test_case "take/drop" `Quick test_take_drop;
+        Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "rng float range" `Quick test_rng_float_range;
+        Alcotest.test_case "rng int range" `Quick test_rng_int_range;
+        Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+        Alcotest.test_case "table" `Quick test_table;
+        QCheck_alcotest.to_alcotest qcheck_linearize;
+      ] );
+  ]

@@ -1,0 +1,111 @@
+(* Communication-pattern tests through the runtime's trace: Fig. 12's
+   picture of Cannon's algorithm, made executable. *)
+
+module Api = Distal.Api
+module Machine = Api.Machine
+module Exec = Api.Exec
+module M = Distal_algorithms.Matmul
+module Rect = Api.Rect
+
+let cannon_trace () =
+  let machine = Machine.grid [| 3; 3 |] in
+  let alg = Result.get_ok (M.cannon ~n:9 ~machine) in
+  let trace = ref [] in
+  let _ = Api.run_exn ~trace alg.M.plan ~data:(Api.random_inputs alg.M.plan) in
+  !trace
+
+(* Fig. 12: on a 3x3 grid, at each iteration ko every processor (io, jo)
+   performs the rotated iteration kos = (ko + io + jo) mod 3 and accesses
+   the tile B(io, kos). *)
+let test_fig12_cannon_b_pattern () =
+  let events = cannon_trace () in
+  let b_events =
+    List.filter (fun (e : Exec.trace_event) -> e.tensor = "B") events
+  in
+  Alcotest.(check bool) "B moves" true (b_events <> []);
+  List.iter
+    (fun (e : Exec.trace_event) ->
+      let io = e.dst.(0) and jo = e.dst.(1) in
+      let ko = e.step in
+      let kos = (ko + io + jo) mod 3 in
+      (* The piece received is exactly tile B(io, kos)... *)
+      let expected =
+        Rect.make ~lo:[| 3 * io; 3 * kos |] ~hi:[| (3 * io) + 3; (3 * kos) + 3 |]
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "B piece at proc (%d,%d) step %d" io jo ko)
+        (Rect.to_string expected) (Rect.to_string e.piece);
+      (* ... and it comes from the tile's owner (io, kos). *)
+      Alcotest.(check (array int)) "sent by the owner" [| io; kos |] e.src)
+    b_events
+
+(* Systolic property: at any step, no tile of B has two receivers (the
+   broadcast of Fig. 8a is gone). *)
+let test_cannon_no_broadcasts () =
+  let events = cannon_trace () in
+  let keys = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Exec.trace_event) ->
+      let key = (e.step, e.tensor, Rect.to_string e.piece) in
+      Alcotest.(check bool)
+        (Printf.sprintf "unique receiver for %s at step %d" e.tensor e.step)
+        false (Hashtbl.mem keys key);
+      Hashtbl.add keys key ())
+    events
+
+(* Each processor receives at most one B piece and one C piece per step. *)
+let test_cannon_per_step_degree () =
+  let events = cannon_trace () in
+  let per = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Exec.trace_event) ->
+      let key = (e.step, e.tensor, e.dst) in
+      let n = try Hashtbl.find per key with Not_found -> 0 in
+      Hashtbl.replace per key (n + 1))
+    events;
+  Hashtbl.iter
+    (fun _ n -> Alcotest.(check int) "one piece per tensor per step" 1 n)
+    per
+
+(* SUMMA's broadcast, by contrast, has the row/column fan-out of Fig. 8a. *)
+let test_summa_broadcast_fanout () =
+  let machine = Machine.grid [| 3; 3 |] in
+  let alg = Result.get_ok (M.summa ~chunks_per_tile:1 ~n:9 ~machine ()) in
+  let trace = ref [] in
+  let _ = Api.run_exn ~trace alg.M.plan ~data:(Api.random_inputs alg.M.plan) in
+  let fanout = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Exec.trace_event) ->
+      if e.tensor = "B" then begin
+        let key = (e.step, Rect.to_string e.piece) in
+        let n = try Hashtbl.find fanout key with Not_found -> 0 in
+        Hashtbl.replace fanout key (n + 1)
+      end)
+    !trace;
+  let max_fanout = Hashtbl.fold (fun _ n acc -> max acc n) fanout 0 in
+  Alcotest.(check int) "B chunk broadcast to the row (2 remote receivers)" 2 max_fanout
+
+let test_trace_matches_messages () =
+  let machine = Machine.grid [| 2; 2 |] in
+  let alg = Result.get_ok (M.summa ~n:8 ~machine ()) in
+  let trace = ref [] in
+  let r = Api.run_exn ~trace alg.M.plan ~data:(Api.random_inputs alg.M.plan) in
+  Alcotest.(check int) "trace length = message count" r.Exec.stats.Api.Stats.messages
+    (List.length !trace);
+  match !trace with
+  | [] -> Alcotest.fail "expected events"
+  | e :: _ ->
+      Alcotest.(check bool) "printable" true
+        (String.length (Exec.trace_to_string e) > 10)
+
+let suites =
+  [
+    ( "trace",
+      [
+        Alcotest.test_case "fig12 cannon pattern" `Quick test_fig12_cannon_b_pattern;
+        Alcotest.test_case "cannon has no broadcasts" `Quick test_cannon_no_broadcasts;
+        Alcotest.test_case "cannon per-step degree" `Quick test_cannon_per_step_degree;
+        Alcotest.test_case "summa broadcast fanout" `Quick test_summa_broadcast_fanout;
+        Alcotest.test_case "trace = messages" `Quick test_trace_matches_messages;
+      ] );
+  ]

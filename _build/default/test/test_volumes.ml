@@ -1,0 +1,118 @@
+(* Analytic cross-checks of the simulator's communication accounting: for
+   the classic algorithms the total volume moved has a closed form, and
+   the event simulation must reproduce it exactly. *)
+
+module Api = Distal.Api
+module Machine = Api.Machine
+module Stats = Api.Stats
+module M = Distal_algorithms.Matmul
+
+let total (s : Stats.t) = s.Stats.bytes_inter +. s.Stats.bytes_intra
+
+let check_close name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.0f, got %.0f" name expected actual)
+    true
+    (abs_float (expected -. actual) <= 1e-6 *. (1.0 +. expected))
+
+(* SUMMA on a g x g grid of an n x n problem: every processor receives
+   its whole row-block of B ((n/g) x n elements) and column-block of C,
+   minus the locally owned 1/g of each. Summed over the g^2 processors:
+   2 * 8 * n^2 * (g-1). *)
+let test_summa_volume () =
+  List.iter
+    (fun (g, n) ->
+      let machine = Machine.grid [| g; g |] in
+      let alg = Result.get_ok (M.summa ~n ~machine ()) in
+      let s = Api.estimate alg.M.plan in
+      let gf = float_of_int g and nf = float_of_int n in
+      check_close
+        (Printf.sprintf "summa %dx%d n=%d" g g n)
+        (2.0 *. 8.0 *. nf *. nf *. (gf -. 1.0))
+        (total s))
+    [ (2, 8); (2, 16); (4, 16); (3, 9) ]
+
+(* Cannon moves exactly the same total volume as SUMMA (each processor
+   still sees its whole row of B and column of C), just in a different
+   pattern. *)
+let test_cannon_volume_equals_summa () =
+  let machine = Machine.grid [| 4; 4 |] in
+  let summa = Result.get_ok (M.summa ~n:16 ~machine ()) in
+  let cannon = Result.get_ok (M.cannon ~n:16 ~machine) in
+  check_close "cannon = summa volume"
+    (total (Api.estimate summa.M.plan))
+    (total (Api.estimate cannon.M.plan))
+
+(* Johnson on a g^3 cube: B and C tiles are broadcast from their faces to
+   the g-1 other layers, and A partials reduce g-fold. Input volume:
+   each of the g^3 tasks fetches one B tile (n/g x n/g) and one C tile,
+   except the g^2 face-resident owners of each. Reduction volume:
+   (g-1) * n^2 elements of A partials. *)
+let test_johnson_volume () =
+  let g = 2 and n = 8 in
+  let machine = Machine.grid [| g; g; g |] in
+  let alg = Result.get_ok (M.johnson ~n ~machine ()) in
+  let s = Api.estimate alg.M.plan in
+  let gf = float_of_int g and nf = float_of_int n in
+  let tile = nf *. nf /. (gf *. gf) in
+  let inputs = 2.0 *. 8.0 *. tile *. ((gf *. gf *. gf) -. (gf *. gf)) in
+  let reduction = 8.0 *. nf *. nf *. (gf -. 1.0) in
+  check_close "johnson volume" (inputs +. reduction) (total s)
+
+(* A fully replicated input never moves; a fully local schedule moves
+   nothing at all (already covered for TTV/TTM; pinned here for the
+   element-wise case). *)
+let test_elementwise_zero_volume () =
+  let machine = Machine.grid [| 4 |] in
+  let p =
+    Api.problem_exn ~machine ~stmt:"A(i,j) = B(i,j) + C(i,j)"
+      ~tensors:
+        [
+          Api.tensor "A" [| 8; 8 |] ~dist:"[x,y] -> [x]";
+          Api.tensor "B" [| 8; 8 |] ~dist:"[x,y] -> [x]";
+          Api.tensor "C" [| 8; 8 |] ~dist:"[x,y] -> [x]";
+        ]
+      ()
+  in
+  let plan =
+    Api.compile_script_exn p
+      ~schedule:"divide(i, io, ii, 4); distribute(io); communicate({A,B,C}, io)"
+  in
+  check_close "zero volume" 0.0 (total (Api.estimate plan))
+
+(* Redistribution volume between rows and columns on p processors: every
+   processor keeps the 1/p^2 diagonal block and receives the rest. *)
+let test_redistribute_volume () =
+  let p = 4 and n = 16 in
+  let machine = Machine.grid [| p |] in
+  let rows = Api.Distnot.parse_exn "[x,y] -> [x]" in
+  let cols = Api.Distnot.parse_exn "[x,y] -> [y]" in
+  let s = Api.redistribute ~machine ~shape:[| n; n |] ~src:rows ~dst:cols () in
+  let nf = float_of_int n and pf = float_of_int p in
+  check_close "all-to-all volume"
+    (8.0 *. nf *. nf *. (pf -. 1.0) /. pf)
+    (total s)
+
+(* Message counts: Cannon on g x g sends exactly 2 point-to-point messages
+   per processor per shifted step (B and C), minus the local first hits. *)
+let test_cannon_message_count () =
+  let g = 3 and n = 9 in
+  let machine = Machine.grid [| g; g |] in
+  let alg = Result.get_ok (M.cannon ~n ~machine) in
+  let s = Api.estimate alg.M.plan in
+  (* Each of g^2 processors receives g-1 remote B tiles and g-1 remote C
+     tiles over the g steps (one step hits the local tile). *)
+  Alcotest.(check int) "cannon messages" (2 * g * g * (g - 1)) s.Stats.messages
+
+let suites =
+  [
+    ( "communication volumes",
+      [
+        Alcotest.test_case "summa closed form" `Quick test_summa_volume;
+        Alcotest.test_case "cannon = summa" `Quick test_cannon_volume_equals_summa;
+        Alcotest.test_case "johnson closed form" `Quick test_johnson_volume;
+        Alcotest.test_case "elementwise zero" `Quick test_elementwise_zero_volume;
+        Alcotest.test_case "redistribute closed form" `Quick test_redistribute_volume;
+        Alcotest.test_case "cannon message count" `Quick test_cannon_message_count;
+      ] );
+  ]
