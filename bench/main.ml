@@ -5,7 +5,13 @@
 
    Usage: main.exe [section ...]
    Sections: leaf compile fig15a fig15b fig16a fig16b fig16c fig16d
-             headline ablation. No arguments runs everything. *)
+             headline ablation. No arguments runs everything.
+
+   main.exe profile [target] [-o out.json] runs a target under the
+   observability subsystem (lib/obs), writes a Chrome trace_event JSON
+   loadable in Perfetto, prints per-run step/critical-path reports and
+   checks that the critical-path end time reproduces the simulator's
+   total for every run. *)
 
 module Fig15 = Distal_harness.Fig15
 module Fig16 = Distal_harness.Fig16
@@ -16,6 +22,12 @@ module Dense = Distal_tensor.Dense
 module Rng = Distal_support.Rng
 module Api = Distal.Api
 module Machine = Api.Machine
+module Profile = Distal_obs.Profile
+module Metrics = Distal_obs.Metrics
+module Cp = Distal_obs.Critical_path
+module Report = Distal_obs.Report
+module Chrome_trace = Distal_obs.Chrome_trace
+module Json = Distal_obs.Json
 
 (* {2 Bechamel micro-benchmarks} *)
 
@@ -118,7 +130,9 @@ let csv () =
   let dir = "results" in
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   List.iter
-    (fun f -> Printf.printf "wrote %s\n" (Figure.save_csv ~dir f))
+    (fun f ->
+      Printf.printf "wrote %s\n" (Figure.save_csv ~dir f);
+      Printf.printf "wrote %s\n" (Figure.save_json ~dir f))
     [
       Fig15.cpu (); Fig15.gpu (); Fig16.ttv (); Fig16.innerprod (); Fig16.ttm ();
       Fig16.mttkrp ();
@@ -135,7 +149,11 @@ let fig16d () = Figure.print (Fig16.mttkrp ())
 let headline () =
   let fig15a = Fig15.cpu () in
   let f16 = (Fig16.ttv (), Fig16.innerprod (), Fig16.ttm (), Fig16.mttkrp ()) in
-  Headline.print (Headline.compute ~fig15a ~fig16:f16 ~nodes:256)
+  let rows = Headline.compute ~fig15a ~fig16:f16 ~nodes:256 in
+  Headline.print rows;
+  let file = "BENCH_headline.json" in
+  Headline.save_json ~file ~nodes:256 rows;
+  Printf.printf "wrote %s\n" file
 
 (* {2 Ablations: the design choices DESIGN.md calls out} *)
 
@@ -242,6 +260,108 @@ let auto () =
       Printf.printf "TTV on %d CPUs: auto picks %s\n" procs (Auto.describe best));
   print_newline ()
 
+(* {2 The profile subcommand} *)
+
+(* Run every Fig. 9 algorithm (Model mode) under one profile, so all six
+   appear as separate processes in the exported trace. *)
+let profile_fig9 profile =
+  let module M = Distal_algorithms.Matmul in
+  let n = 24 in
+  let m2 = Machine.grid [| 2; 2 |] in
+  let m3 = Machine.grid [| 2; 2; 2 |] in
+  List.iter
+    (fun alg ->
+      match alg with
+      | Error e -> Printf.printf "  skipped: %s\n" e
+      | Ok (a : M.t) -> (
+          Profile.set_next_run_name profile ("fig9/" ^ a.M.name);
+          match Api.run ~mode:Api.Exec.Model ~profile a.M.plan ~data:[] with
+          | Ok _ -> ()
+          | Error e -> Printf.printf "  %s failed: %s\n" a.M.name e))
+    [
+      M.cannon ~n ~machine:m2;
+      M.pumma ~n ~machine:m2;
+      M.summa ~n ~machine:m2 ();
+      M.johnson ~n ~machine:m3 ();
+      M.solomonik ~n ~machine:m3;
+      M.cosma ~n ~machine:m3 ();
+    ]
+
+let profile_targets profile =
+  [
+    ("fig9", fun () -> profile_fig9 profile);
+    ("fig15a", fun () -> ignore (Fig15.cpu ~profile ~nodes:[ 1; 2; 4; 8 ] ~base_n:64 ()));
+    ("fig15b", fun () -> ignore (Fig15.gpu ~profile ~nodes:[ 1; 2; 4 ] ~base_n:64 ()));
+    ("fig16a", fun () -> ignore (Fig16.ttv ~profile ~nodes:[ 1; 2; 4 ] ~base_i:64 ~jk:32 ()));
+    ( "fig16b",
+      fun () -> ignore (Fig16.innerprod ~profile ~nodes:[ 1; 2; 4 ] ~base_i:64 ~jk:32 ()) );
+    ( "fig16c",
+      fun () -> ignore (Fig16.ttm ~profile ~nodes:[ 1; 2; 4 ] ~base_i:32 ~jk:32 ~l:16 ()) );
+    ( "fig16d",
+      fun () -> ignore (Fig16.mttkrp ~profile ~nodes:[ 1; 2; 4 ] ~base_ij:32 ~k:32 ~l:8 ()) );
+  ]
+
+(* The invariant the subsystem is built around: replaying the exported
+   step timeline through the critical-path analysis reproduces the
+   simulator's total time exactly, for every run. *)
+let check_critical_paths profile =
+  let failures = ref 0 in
+  List.iter
+    (fun (run : Profile.run) ->
+      match run.Profile.timeline with
+      | None -> Printf.printf "  %-24s (no execution timeline)\n" run.Profile.name
+      | Some tl ->
+          let cp = Cp.analyse tl in
+          let time =
+            match Metrics.value run.Profile.metrics "exec.time" with
+            | Some t -> t
+            | None -> nan
+          in
+          let ok = cp.Cp.end_time = time in
+          if not ok then incr failures;
+          Printf.printf "  %-24s critical path %.9e s  simulator %.9e s  %s\n"
+            run.Profile.name cp.Cp.end_time time
+            (if ok then "ok" else "MISMATCH"))
+    (Profile.runs profile);
+  !failures
+
+let profile_cmd args =
+  let rec parse target out = function
+    | [] -> (target, out)
+    | "-o" :: file :: rest -> parse target file rest
+    | t :: rest -> parse t out rest
+  in
+  let target, out = parse "fig9" "profile.json" args in
+  let profile = Profile.create () in
+  (match List.assoc_opt target (profile_targets profile) with
+  | Some f ->
+      Printf.printf "== profile: %s under the observability subsystem ==\n" target;
+      f ()
+  | None ->
+      Printf.eprintf "unknown profile target %s (known: %s)\n" target
+        (String.concat ", " (List.map fst (profile_targets profile)));
+      exit 1);
+  List.iter
+    (fun (run : Profile.run) ->
+      if run.Profile.timeline <> None then print_string (Report.run_report run))
+    (Profile.runs profile);
+  print_endline "critical path vs simulator:";
+  let failures = check_critical_paths profile in
+  let trace = Chrome_trace.of_profile profile in
+  (match Json.parse trace with
+  | Ok _ -> ()
+  | Error e ->
+      Printf.eprintf "exported trace is not valid JSON: %s\n" e;
+      exit 1);
+  let oc = open_out out in
+  output_string oc trace;
+  close_out oc;
+  Printf.printf "wrote %s (%d events; load it at https://ui.perfetto.dev)\n" out
+    (List.length (Profile.events profile));
+  if failures > 0 then (
+    Printf.eprintf "%d run(s) with critical-path mismatch\n" failures;
+    exit 1)
+
 let sections =
   [
     ("leaf", leaf_benches);
@@ -263,6 +383,9 @@ let sections =
 let () =
   let requested =
     match Array.to_list Sys.argv with
+    | _ :: "profile" :: rest ->
+        profile_cmd rest;
+        []
     | _ :: (_ :: _ as args) -> args
     | _ -> List.filter (fun s -> s <> "csv") (List.map fst sections)
   in

@@ -1,0 +1,103 @@
+(* Schema validator for the harness's machine-readable outputs, run from
+   the test suite against freshly generated files. Understands two
+   document kinds and picks by shape:
+
+   - distal-bench/v1: headline rows or figure series (Figure.to_json,
+     Headline.to_json);
+   - Chrome trace_event files (Chrome_trace).
+
+   Exits nonzero with a diagnostic on the first violation. *)
+
+module Json = Distal_obs.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("validate_bench: " ^ s); exit 1) fmt
+
+let read_file file =
+  let ic = open_in_bin file in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let expect_string ~file ~what = function
+  | Some (Json.String s) -> s
+  | _ -> fail "%s: %s must be a string" file what
+
+let expect_list ~file ~what = function
+  | Some (Json.List l) -> l
+  | _ -> fail "%s: %s must be an array" file what
+
+let check_measured ~file = function
+  | Some (Json.Float _ | Json.Int _ | Json.Null) -> ()
+  | _ -> fail "%s: measured must be a number or null" file
+
+let check_headline ~file j =
+  let rows = expect_list ~file ~what:"rows" (Json.member "rows" j) in
+  if rows = [] then fail "%s: no headline rows" file;
+  List.iter
+    (fun row ->
+      ignore (expect_string ~file ~what:"comparison" (Json.member "comparison" row));
+      ignore (expect_string ~file ~what:"paper" (Json.member "paper" row));
+      check_measured ~file (Json.member "measured" row))
+    rows;
+  Printf.printf "%s: ok (headline, %d rows)\n" file (List.length rows)
+
+let check_figure ~file j =
+  let series = expect_list ~file ~what:"series" (Json.member "series" j) in
+  let nodes = expect_list ~file ~what:"nodes" (Json.member "nodes" j) in
+  if series = [] then fail "%s: no series" file;
+  List.iter
+    (fun s ->
+      ignore (expect_string ~file ~what:"series name" (Json.member "name" s));
+      let cells = expect_list ~file ~what:"cells" (Json.member "cells" s) in
+      if List.length cells <> List.length nodes then
+        fail "%s: series has %d cells for %d node counts" file (List.length cells)
+          (List.length nodes);
+      List.iter
+        (fun c ->
+          (match Json.member "nodes" c with
+          | Some (Json.Int _) -> ()
+          | _ -> fail "%s: cell nodes must be an integer" file);
+          match Json.member "value" c with
+          | Some (Json.Float _ | Json.Int _ | Json.Null | Json.String "oom") -> ()
+          | _ -> fail "%s: cell value must be a number, null or \"oom\"" file)
+        cells)
+    series;
+  Printf.printf "%s: ok (figure, %d series)\n" file (List.length series)
+
+let check_bench ~file j =
+  (match Json.member "schema" j with
+  | Some (Json.String "distal-bench/v1") -> ()
+  | _ -> fail "%s: schema must be \"distal-bench/v1\"" file);
+  if Json.member "rows" j <> None then check_headline ~file j
+  else check_figure ~file j
+
+let check_trace ~file j events =
+  if events = [] then fail "%s: empty traceEvents" file;
+  List.iter
+    (fun e ->
+      ignore (expect_string ~file ~what:"event name" (Json.member "name" e));
+      (match expect_string ~file ~what:"ph" (Json.member "ph" e) with
+      | "X" | "i" | "C" | "M" -> ()
+      | ph -> fail "%s: unexpected phase %S" file ph);
+      match (Json.member "pid" e, Json.member "tid" e) with
+      | Some (Json.Int _), Some (Json.Int _) -> ()
+      | _ -> fail "%s: pid/tid must be integers" file)
+    events;
+  ignore j;
+  Printf.printf "%s: ok (trace, %d events)\n" file (List.length events)
+
+let check file =
+  match Json.parse (read_file file) with
+  | Error e -> fail "%s: invalid JSON: %s" file e
+  | Ok j -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.List events) -> check_trace ~file j events
+      | Some _ -> fail "%s: traceEvents must be an array" file
+      | None -> check_bench ~file j)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as files) -> List.iter check files
+  | _ ->
+      prerr_endline "usage: validate_bench FILE.json ...";
+      exit 1

@@ -23,6 +23,7 @@
 module Api = Distal.Api
 module Machine = Api.Machine
 module Stats = Api.Stats
+module Obs = Distal_obs
 
 let ( let* ) = Result.bind
 let errf fmt = Printf.ksprintf (fun s -> Error s) fmt
@@ -41,7 +42,8 @@ let parse_tensor_decl s =
   | _ -> errf "bad tensor declaration %S (expected name:dims:dist)" s
 
 let run_pipeline ~machine_dims ~gpu ~tensors ~stmt ~schedule ~validate ~estimate ~quiet
-    ~emit_legion =
+    ~emit_legion ~profile_out =
+  let profile = Option.map (fun _ -> Obs.Profile.create ()) profile_out in
   let* machine_dims = parse_dims machine_dims in
   let kind = if gpu then Machine.Gpu else Machine.Cpu in
   let mem = if gpu then 16e9 else 256e9 in
@@ -54,8 +56,8 @@ let run_pipeline ~machine_dims ~gpu ~tensors ~stmt ~schedule ~validate ~estimate
         Ok (t :: acc))
       (Ok []) tensors
   in
-  let* problem = Api.problem ~machine ~stmt ~tensors:(List.rev tensors) () in
-  let* plan = Api.compile_script problem ~schedule in
+  let* problem = Api.problem ?profile ~machine ~stmt ~tensors:(List.rev tensors) () in
+  let* plan = Api.compile_script ?profile problem ~schedule in
   if not quiet then print_endline (Api.describe plan);
   if emit_legion then
     print_endline (Distal_ir.Codegen_legion.emit plan.Api.program);
@@ -68,12 +70,26 @@ let run_pipeline ~machine_dims ~gpu ~tensors ~stmt ~schedule ~validate ~estimate
     else Ok ()
   in
   if estimate then begin
-    let s = Api.estimate plan in
+    let s = Api.estimate ?profile plan in
     Printf.printf "estimate: %s\n" (Stats.to_string s);
     Printf.printf "estimate: %.2f GFLOP/s across %d processors\n" (Stats.gflops s)
       (Machine.num_procs machine)
   end;
-  Ok ()
+  match (profile, profile_out) with
+  | Some p, Some file ->
+      (* The trace needs a run to be interesting; profile implies a modeled
+         execution even without --estimate. *)
+      if Obs.Profile.runs p = [] then ignore (Api.estimate ~profile:p plan);
+      let* () =
+        try Ok (Obs.Chrome_trace.save ~file p)
+        with Sys_error e -> errf "cannot write profile: %s" e
+      in
+      List.iter
+        (fun (run : Obs.Profile.run) -> print_string (Obs.Report.run_report run))
+        (Obs.Profile.runs p);
+      Printf.printf "profile: wrote %s (load it at https://ui.perfetto.dev)\n" file;
+      Ok ()
+  | _ -> Ok ()
 
 open Cmdliner
 
@@ -111,12 +127,19 @@ let emit_legion_arg =
   Arg.(value & flag & info [ "emit-legion" ]
          ~doc:"Print the generated Legion C++ translation unit.")
 
+let profile_arg =
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE"
+         ~doc:"Profile the compile and the modeled execution; write a Chrome \
+               trace_event JSON to $(docv) (loadable at https://ui.perfetto.dev) \
+               and print the per-step and critical-path report.")
+
 let cmd =
   let doc = "compile tensor index notation to a distributed task program" in
-  let run machine_dims gpu tensors stmt schedule validate estimate quiet emit_legion =
+  let run machine_dims gpu tensors stmt schedule validate estimate quiet emit_legion
+      profile_out =
     match
       run_pipeline ~machine_dims ~gpu ~tensors ~stmt ~schedule ~validate ~estimate
-        ~quiet ~emit_legion
+        ~quiet ~emit_legion ~profile_out
     with
     | Ok () -> `Ok ()
     | Error e -> `Error (false, e)
@@ -126,6 +149,6 @@ let cmd =
     Term.(
       ret
         (const run $ machine_arg $ gpu_arg $ tensor_arg $ stmt_arg $ schedule_arg
-       $ validate_arg $ estimate_arg $ quiet_arg $ emit_legion_arg))
+       $ validate_arg $ estimate_arg $ quiet_arg $ emit_legion_arg $ profile_arg))
 
 let () = exit (Cmd.eval cmd)

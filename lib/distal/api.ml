@@ -12,6 +12,11 @@ module Einsum_parser = Distal_ir.Einsum_parser
 module Stats = Distal_runtime.Stats
 module Exec = Distal_runtime.Exec
 module Rng = Distal_support.Rng
+module Obs = Distal_obs
+
+(* Wall-clock span around one compiler phase, when a profile is given. *)
+let phase profile name f =
+  Obs.Span.wall (Option.map Obs.Profile.sink profile) ~name ~cat:"compile" f
 
 type tensor = { name : string; shape : int array; dist : Distnot.t }
 
@@ -30,7 +35,7 @@ let errf fmt = Printf.ksprintf (fun s -> Error s) fmt
 
 let shapes_of tensors = List.map (fun t -> (t.name, t.shape)) tensors
 
-let problem ?virtual_grid ~machine ~stmt ~tensors () =
+let problem ?profile ?virtual_grid ~machine ~stmt ~tensors () =
   let dist_machine =
     match virtual_grid with
     | None -> machine
@@ -38,8 +43,11 @@ let problem ?virtual_grid ~machine ~stmt ~tensors () =
         Machine.grid ~kind:(Machine.kind machine)
           ~mem_per_proc:(Machine.mem_per_proc_bytes machine) dims
   in
-  let* stmt = Einsum_parser.parse stmt in
-  let* _ = Distal_ir.Typecheck.check stmt ~shapes:(shapes_of tensors) in
+  let* stmt = phase profile "parse" (fun () -> Einsum_parser.parse stmt) in
+  let* _ =
+    phase profile "typecheck" (fun () ->
+        Distal_ir.Typecheck.check stmt ~shapes:(shapes_of tensors))
+  in
   let* () =
     List.fold_left
       (fun acc tn ->
@@ -64,25 +72,28 @@ let problem ?virtual_grid ~machine ~stmt ~tensors () =
 
 let or_invalid = function Ok x -> x | Error e -> invalid_arg e
 
-let problem_exn ?virtual_grid ~machine ~stmt ~tensors () =
-  or_invalid (problem ?virtual_grid ~machine ~stmt ~tensors ())
+let problem_exn ?profile ?virtual_grid ~machine ~stmt ~tensors () =
+  or_invalid (problem ?profile ?virtual_grid ~machine ~stmt ~tensors ())
 
 type plan = { problem : problem; cin : Cin.t; program : Taskir.program }
 
-let compile problem ~schedule =
+let compile ?profile problem ~schedule =
   let shapes = shapes_of problem.tensors in
-  let* cin = Cin.of_stmt problem.stmt ~shapes in
-  let* cin = Schedule.apply_all cin schedule in
-  let* program = Lower.lower cin ~shapes in
+  let* cin = phase profile "cin" (fun () -> Cin.of_stmt problem.stmt ~shapes) in
+  let* cin =
+    phase profile "schedule rewrites" (fun () -> Schedule.apply_all cin schedule)
+  in
+  let* program = phase profile "lower" (fun () -> Lower.lower cin ~shapes) in
   Ok { problem; cin; program }
 
-let compile_exn problem ~schedule = or_invalid (compile problem ~schedule)
+let compile_exn ?profile problem ~schedule = or_invalid (compile ?profile problem ~schedule)
 
-let compile_script problem ~schedule =
-  let* cmds = Schedule.parse schedule in
-  compile problem ~schedule:cmds
+let compile_script ?profile problem ~schedule =
+  let* cmds = phase profile "parse schedule" (fun () -> Schedule.parse schedule) in
+  compile ?profile problem ~schedule:cmds
 
-let compile_script_exn problem ~schedule = or_invalid (compile_script problem ~schedule)
+let compile_script_exn ?profile problem ~schedule =
+  or_invalid (compile_script ?profile problem ~schedule)
 
 let default_cost machine =
   match Machine.kind machine with
@@ -99,12 +110,14 @@ let spec ?cost plan =
     virtual_grid = plan.problem.virtual_grid;
   }
 
-let run ?mode ?cost ?trace plan ~data = Exec.execute ?mode ?trace (spec ?cost plan) ~data
+let run ?mode ?cost ?trace ?profile plan ~data =
+  Exec.execute ?mode ?trace ?profile (spec ?cost plan) ~data
 
-let run_exn ?mode ?cost ?trace plan ~data = or_invalid (run ?mode ?cost ?trace plan ~data)
+let run_exn ?mode ?cost ?trace ?profile plan ~data =
+  or_invalid (run ?mode ?cost ?trace ?profile plan ~data)
 
-let estimate ?cost plan =
-  match Exec.execute ~mode:Exec.Model (spec ?cost plan) ~data:[] with
+let estimate ?cost ?profile plan =
+  match Exec.execute ~mode:Exec.Model ?profile (spec ?cost plan) ~data:[] with
   | Ok r -> r.Exec.stats
   | Error e -> invalid_arg ("Api.estimate: " ^ e)
 
@@ -226,6 +239,6 @@ let validate_pipeline ?(seed = 42) ?(tol = 1e-7) pl =
   in
   Ok ()
 
-let redistribute ~machine ?cost ~shape ~src ~dst () =
+let redistribute ~machine ?cost ?profile ~shape ~src ~dst () =
   let cost = match cost with Some c -> c | None -> default_cost machine in
-  Exec.redistribute machine cost ~shape ~src ~dst
+  Exec.redistribute ?profile machine cost ~shape ~src ~dst

@@ -29,6 +29,7 @@ module Distnot = Distal_ir.Distnot
 module Schedule = Distal_ir.Schedule
 module Stats = Distal_runtime.Stats
 module Exec = Distal_runtime.Exec
+module Obs = Distal_obs
 
 type tensor = { name : string; shape : int array; dist : Distnot.t }
 
@@ -49,6 +50,7 @@ type problem = {
 }
 
 val problem :
+  ?profile:Obs.Profile.t ->
   ?virtual_grid:int array ->
   machine:Machine.t ->
   stmt:string ->
@@ -56,11 +58,12 @@ val problem :
   unit ->
   (problem, string) result
 (** Parse and typecheck a tensor index notation statement against the
-    declared tensors. *)
+    declared tensors. With [profile], the parse and typecheck phases are
+    recorded as wall-clock spans on the profile's compiler track. *)
 
 val problem_exn :
-  ?virtual_grid:int array -> machine:Machine.t -> stmt:string ->
-  tensors:tensor list -> unit -> problem
+  ?profile:Obs.Profile.t -> ?virtual_grid:int array -> machine:Machine.t ->
+  stmt:string -> tensors:tensor list -> unit -> problem
 
 type plan = {
   problem : problem;
@@ -68,12 +71,19 @@ type plan = {
   program : Distal_ir.Taskir.program;  (** the lowered task IR *)
 }
 
-val compile : problem -> schedule:Schedule.t list -> (plan, string) result
-val compile_exn : problem -> schedule:Schedule.t list -> plan
-val compile_script : problem -> schedule:string -> (plan, string) result
+val compile :
+  ?profile:Obs.Profile.t -> problem -> schedule:Schedule.t list -> (plan, string) result
+(** With [profile], each compiler phase (concrete index notation
+    construction, schedule rewrites, lowering) is recorded as a wall-clock
+    span on the profile's compiler track. *)
+
+val compile_exn : ?profile:Obs.Profile.t -> problem -> schedule:Schedule.t list -> plan
+
+val compile_script :
+  ?profile:Obs.Profile.t -> problem -> schedule:string -> (plan, string) result
 (** Schedule given as a script (see {!Schedule.parse}). *)
 
-val compile_script_exn : problem -> schedule:string -> plan
+val compile_script_exn : ?profile:Obs.Profile.t -> problem -> schedule:string -> plan
 
 val default_cost : Machine.t -> Cost_model.t
 (** {!Cost_model.cpu_distal} or {!Cost_model.gpu_distal} by processor
@@ -83,15 +93,19 @@ val run :
   ?mode:Exec.mode ->
   ?cost:Cost_model.t ->
   ?trace:Exec.trace_event list ref ->
+  ?profile:Obs.Profile.t ->
   plan ->
   data:(string * Dense.t) list ->
   (Exec.result, string) result
+(** With [profile], the execution registers as a run of the profile and
+    emits spans, copy events, metrics and a step timeline (see
+    {!Exec.execute}). *)
 
 val run_exn :
   ?mode:Exec.mode -> ?cost:Cost_model.t -> ?trace:Exec.trace_event list ref ->
-  plan -> data:(string * Dense.t) list -> Exec.result
+  ?profile:Obs.Profile.t -> plan -> data:(string * Dense.t) list -> Exec.result
 
-val estimate : ?cost:Cost_model.t -> plan -> Stats.t
+val estimate : ?cost:Cost_model.t -> ?profile:Obs.Profile.t -> plan -> Stats.t
 (** Performance-model-only execution ({!Exec.Model} mode). *)
 
 val random_inputs : ?seed:int -> plan -> (string * Dense.t) list
@@ -152,6 +166,7 @@ val validate_pipeline : ?seed:int -> ?tol:float -> pipeline -> (unit, string) re
 val redistribute :
   machine:Machine.t ->
   ?cost:Cost_model.t ->
+  ?profile:Obs.Profile.t ->
   shape:int array ->
   src:Distnot.t ->
   dst:Distnot.t ->

@@ -7,6 +7,7 @@ module Cs = Distal_algorithms.Cosma_scheduler
 module Ctf = Distal_baselines.Ctf
 module Scalapack = Distal_baselines.Scalapack
 module Cosma_ref = Distal_baselines.Cosma_ref
+module Profile = Distal_obs.Profile
 
 let default_nodes = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]
 
@@ -20,11 +21,14 @@ let cell_of_stats ~n ~nodes (stats : Stats.t) =
   if stats.Stats.oom then Figure.Oom
   else Figure.Value (gemm_flops n /. stats.Stats.time /. 1e9 /. float_of_int nodes)
 
-let cell_of_run ~n ~nodes ~cost (alg : (M.t, string) result) =
+let cell_of_run ?profile ?label ~n ~nodes ~cost (alg : (M.t, string) result) =
   match alg with
   | Error _ -> Figure.Unavailable
   | Ok alg -> (
-      match Api.run ~mode:Api.Exec.Model ~cost alg.M.plan ~data:[] with
+      (match (profile, label) with
+      | Some p, Some l -> Profile.set_next_run_name p l
+      | _ -> ());
+      match Api.run ~mode:Api.Exec.Model ~cost ?profile alg.M.plan ~data:[] with
       | Error _ -> Figure.Unavailable
       | Ok r -> cell_of_stats ~n ~nodes r.Api.Exec.stats)
 
@@ -35,7 +39,7 @@ let cube_side procs =
 (* Build the machines each algorithm targets for a [procs]-processor
    run. [make] turns a grid into a machine (CPU: one processor per node;
    GPU: node_factors blocks of four). *)
-let distal_series ~make ~mem ~cost ~procs ~norm_nodes ~n =
+let distal_series ?profile ?fig ~make ~mem ~cost ~procs ~norm_nodes ~n () =
   let m2 =
     let gx, gy = Cs.best_pair procs in
     make [| gx; gy |]
@@ -67,7 +71,13 @@ let distal_series ~make ~mem ~cost ~procs ~norm_nodes ~n =
     ("our-solomonik", fun () -> M.solomonik ~n ~machine:solomonik_machine);
     ("our-cosma", fun () -> M.cosma ~n ~machine:cosma_machine ());
   ]
-  |> List.map (fun (name, f) -> (name, cell_of_run ~n ~nodes:norm_nodes ~cost (f ())))
+  |> List.map (fun (name, f) ->
+         let label =
+           Option.map
+             (fun fig -> Printf.sprintf "%s/%s@%d" fig name norm_nodes)
+             fig
+         in
+         (name, cell_of_run ?profile ?label ~n ~nodes:norm_nodes ~cost (f ())))
 
 let collect ~nodes ~series_names ~cells_of_nodes =
   let per_node = List.map (fun nd -> (nd, cells_of_nodes nd)) nodes in
@@ -79,7 +89,7 @@ let collect ~nodes ~series_names ~cells_of_nodes =
       })
     series_names
 
-let cpu ?(nodes = default_nodes) ?(base_n = 8192) () =
+let cpu ?profile ?(nodes = default_nodes) ?(base_n = 8192) () =
   let series_names =
     [
       "our-summa"; "our-cannon"; "our-pumma"; "our-johnson"; "our-solomonik";
@@ -98,7 +108,8 @@ let cpu ?(nodes = default_nodes) ?(base_n = 8192) () =
     in
     (* GFLOP/s is normalized per NODE: divide by the node count even for
        algorithms that cannot use every node (Johnson off-cubes). *)
-    distal_series ~make ~mem ~cost:Cost.cpu_distal ~procs:nd ~norm_nodes:nd ~n
+    distal_series ?profile ~fig:"fig15a" ~make ~mem ~cost:Cost.cpu_distal ~procs:nd
+      ~norm_nodes:nd ~n ()
     @ [
         baseline "cosma" (fun () -> Cosma_ref.gemm_cpu ~nodes:nd ~n ());
         baseline "cosma-restricted" (fun () ->
@@ -115,7 +126,7 @@ let cpu ?(nodes = default_nodes) ?(base_n = 8192) () =
     series = collect ~nodes ~series_names ~cells_of_nodes;
   }
 
-let gpu ?(nodes = default_nodes) ?(base_n = 20000) () =
+let gpu ?profile ?(nodes = default_nodes) ?(base_n = 20000) () =
   let series_names =
     [
       "our-summa"; "our-cannon"; "our-pumma"; "our-johnson"; "our-solomonik";
@@ -127,7 +138,8 @@ let gpu ?(nodes = default_nodes) ?(base_n = 20000) () =
     let procs = 4 * nd in
     let mem = 16e9 in
     let make dims = Machine.with_ppn ~kind:Machine.Gpu ~mem_per_proc:mem dims ~ppn:4 in
-    distal_series ~make ~mem ~cost:Cost.gpu_distal ~procs ~norm_nodes:nd ~n
+    distal_series ?profile ~fig:"fig15b" ~make ~mem ~cost:Cost.gpu_distal ~procs
+      ~norm_nodes:nd ~n ()
     @ [
         ( "cosma",
           match Cosma_ref.gemm_gpu ~nodes:nd ~n with

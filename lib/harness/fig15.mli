@@ -16,8 +16,14 @@
 val default_nodes : int list
 (** 1, 2, 4, ..., 256. *)
 
-val cpu : ?nodes:int list -> ?base_n:int -> unit -> Figure.t
-val gpu : ?nodes:int list -> ?base_n:int -> unit -> Figure.t
+val cpu :
+  ?profile:Distal_obs.Profile.t -> ?nodes:int list -> ?base_n:int -> unit -> Figure.t
+(** With [profile], every DISTAL algorithm execution registers as a run
+    named ["fig15a/<series>@<nodes>"] with its spans, metrics and step
+    timeline. Baseline (analytic) series do not produce runs. *)
+
+val gpu :
+  ?profile:Distal_obs.Profile.t -> ?nodes:int list -> ?base_n:int -> unit -> Figure.t
 
 val weak_n : base:int -> nodes:int -> int
 (** Problem side for weak scaling: area grows with the node count. *)

@@ -5,6 +5,7 @@ module Stats = Distal_runtime.Stats
 module H = Distal_algorithms.Higher_order
 module Cs = Distal_algorithms.Cosma_scheduler
 module Ctf = Distal_baselines.Ctf
+module Profile = Distal_obs.Profile
 
 let default_nodes = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]
 
@@ -15,11 +16,14 @@ let cell ~per ~nodes (r : (Stats.t, string) result) =
       if stats.Stats.oom then Figure.Oom
       else Figure.Value (per stats /. float_of_int nodes)
 
-let run_h ~cost (h : (H.t, string) result) =
+let run_h ?profile ?label ~cost (h : (H.t, string) result) =
   match h with
   | Error e -> Error e
   | Ok h -> (
-      match Api.run ~mode:Api.Exec.Model ~cost h.H.plan ~data:[] with
+      (match (profile, label) with
+      | Some p, Some l -> Profile.set_next_run_name p l
+      | _ -> ());
+      match Api.run ~mode:Api.Exec.Model ~cost ?profile h.H.plan ~data:[] with
       | Ok r -> Ok r.Api.Exec.stats
       | Error e -> Error e)
 
@@ -44,17 +48,21 @@ let three_series ~nodes ~cpu ~gpu ~ctf =
 
 let f = float_of_int
 
-let ttv ?(nodes = default_nodes) ?(base_i = 1024) ?(jk = 512) () =
+let label fig series nd = Printf.sprintf "%s/%s@%d" fig series nd
+
+let ttv ?profile ?(nodes = default_nodes) ?(base_i = 1024) ?(jk = 512) () =
   let bytes ~i = 8.0 *. ((f i *. f jk *. f jk) +. (f i *. f jk) +. f jk) in
   let cpu nd =
     let i = base_i * nd in
     cell ~per:(gbs_of ~bytes:(bytes ~i)) ~nodes:nd
-      (run_h ~cost:Cost.cpu_distal (H.ttv ~i ~j:jk ~k:jk ~machine:(cpu_machine1 nd)))
+      (run_h ?profile ~label:(label "fig16a" "distal-cpu" nd) ~cost:Cost.cpu_distal
+         (H.ttv ~i ~j:jk ~k:jk ~machine:(cpu_machine1 nd)))
   in
   let gpu nd =
     let i = base_i / 2 * 4 * nd in
     cell ~per:(gbs_of ~bytes:(bytes ~i)) ~nodes:nd
-      (run_h ~cost:Cost.gpu_distal (H.ttv ~i ~j:jk ~k:jk ~machine:(gpu_machine1 (4 * nd))))
+      (run_h ?profile ~label:(label "fig16a" "distal-gpu" nd) ~cost:Cost.gpu_distal
+         (H.ttv ~i ~j:jk ~k:jk ~machine:(gpu_machine1 (4 * nd))))
   in
   let ctf nd =
     let i = base_i * nd in
@@ -63,17 +71,18 @@ let ttv ?(nodes = default_nodes) ?(base_i = 1024) ?(jk = 512) () =
   make_figure ~id:"fig16a" ~title:"TTV  A(i,j) = B(i,j,k) * c(k)" ~unit_:"GB/s/node"
     ~nodes ~series:(three_series ~nodes ~cpu ~gpu ~ctf)
 
-let innerprod ?(nodes = default_nodes) ?(base_i = 1024) ?(jk = 512) () =
+let innerprod ?profile ?(nodes = default_nodes) ?(base_i = 1024) ?(jk = 512) () =
   let bytes ~i = 2.0 *. 8.0 *. f i *. f jk *. f jk in
   let cpu nd =
     let i = base_i * nd in
     cell ~per:(gbs_of ~bytes:(bytes ~i)) ~nodes:nd
-      (run_h ~cost:Cost.cpu_distal (H.innerprod ~i ~j:jk ~k:jk ~machine:(cpu_machine1 nd)))
+      (run_h ?profile ~label:(label "fig16b" "distal-cpu" nd) ~cost:Cost.cpu_distal
+         (H.innerprod ~i ~j:jk ~k:jk ~machine:(cpu_machine1 nd)))
   in
   let gpu nd =
     let i = base_i / 2 * 4 * nd in
     cell ~per:(gbs_of ~bytes:(bytes ~i)) ~nodes:nd
-      (run_h ~cost:Cost.gpu_distal
+      (run_h ?profile ~label:(label "fig16b" "distal-gpu" nd) ~cost:Cost.gpu_distal
          (H.innerprod ~i ~j:jk ~k:jk ~machine:(gpu_machine1 (4 * nd))))
   in
   let ctf nd =
@@ -83,17 +92,18 @@ let innerprod ?(nodes = default_nodes) ?(base_i = 1024) ?(jk = 512) () =
   make_figure ~id:"fig16b" ~title:"Innerprod  a = B(i,j,k) * C(i,j,k)" ~unit_:"GB/s/node"
     ~nodes ~series:(three_series ~nodes ~cpu ~gpu ~ctf)
 
-let ttm ?(nodes = default_nodes) ?(base_i = 256) ?(jk = 512) ?(l = 64) () =
+let ttm ?profile ?(nodes = default_nodes) ?(base_i = 256) ?(jk = 512) ?(l = 64) () =
   let flops ~i = 2.0 *. f i *. f jk *. f jk *. f l in
   let cpu nd =
     let i = base_i * nd in
     cell ~per:(gflops_of ~flops:(flops ~i)) ~nodes:nd
-      (run_h ~cost:Cost.cpu_distal (H.ttm ~i ~j:jk ~k:jk ~l ~machine:(cpu_machine1 nd)))
+      (run_h ?profile ~label:(label "fig16c" "distal-cpu" nd) ~cost:Cost.cpu_distal
+         (H.ttm ~i ~j:jk ~k:jk ~l ~machine:(cpu_machine1 nd)))
   in
   let gpu nd =
     let i = base_i / 2 * 4 * nd in
     cell ~per:(gflops_of ~flops:(flops ~i)) ~nodes:nd
-      (run_h ~cost:Cost.gpu_distal
+      (run_h ?profile ~label:(label "fig16c" "distal-gpu" nd) ~cost:Cost.gpu_distal
          (H.ttm ~i ~j:jk ~k:jk ~l ~machine:(gpu_machine1 (4 * nd))))
   in
   let ctf nd =
@@ -104,7 +114,7 @@ let ttm ?(nodes = default_nodes) ?(base_i = 256) ?(jk = 512) ?(l = 64) () =
   make_figure ~id:"fig16c" ~title:"TTM  A(i,j,l) = B(i,j,k) * C(k,l)"
     ~unit_:"GFLOP/s/node" ~nodes ~series:(three_series ~nodes ~cpu ~gpu ~ctf)
 
-let mttkrp ?(nodes = default_nodes) ?(base_ij = 512) ?(k = 512) ?(l = 32) () =
+let mttkrp ?profile ?(nodes = default_nodes) ?(base_ij = 512) ?(k = 512) ?(l = 32) () =
   let flops ~i ~j = 3.0 *. f i *. f j *. f k *. f l in
   let sizes procs =
     let gx, gy = Cs.best_pair procs in
@@ -114,14 +124,16 @@ let mttkrp ?(nodes = default_nodes) ?(base_ij = 512) ?(k = 512) ?(l = 32) () =
     let i, j, machine = sizes nd in
     let machine = Machine.grid ~kind:Machine.Cpu ~mem_per_proc:256e9 machine.Machine.dims in
     cell ~per:(gflops_of ~flops:(flops ~i ~j)) ~nodes:nd
-      (run_h ~cost:Cost.cpu_distal (H.mttkrp ~i ~j ~k ~l ~machine))
+      (run_h ?profile ~label:(label "fig16d" "distal-cpu" nd) ~cost:Cost.cpu_distal
+         (H.mttkrp ~i ~j ~k ~l ~machine))
   in
   let gpu nd =
     let gx, gy = Cs.best_pair (4 * nd) in
     let i = base_ij / 2 * gx and j = base_ij / 2 * gy in
     let machine = Machine.with_ppn ~kind:Machine.Gpu ~mem_per_proc:16e9 [| gx; gy |] ~ppn:4 in
     cell ~per:(gflops_of ~flops:(flops ~i ~j)) ~nodes:nd
-      (run_h ~cost:Cost.gpu_distal (H.mttkrp ~i ~j ~k ~l ~machine))
+      (run_h ?profile ~label:(label "fig16d" "distal-gpu" nd) ~cost:Cost.gpu_distal
+         (H.mttkrp ~i ~j ~k ~l ~machine))
   in
   let ctf nd =
     let i, j, _ = sizes nd in

@@ -9,7 +9,21 @@
 
 val default_nodes : int list
 
-val ttv : ?nodes:int list -> ?base_i:int -> ?jk:int -> unit -> Figure.t
-val innerprod : ?nodes:int list -> ?base_i:int -> ?jk:int -> unit -> Figure.t
-val ttm : ?nodes:int list -> ?base_i:int -> ?jk:int -> ?l:int -> unit -> Figure.t
-val mttkrp : ?nodes:int list -> ?base_ij:int -> ?k:int -> ?l:int -> unit -> Figure.t
+val ttv :
+  ?profile:Distal_obs.Profile.t ->
+  ?nodes:int list -> ?base_i:int -> ?jk:int -> unit -> Figure.t
+(** With [profile], every DISTAL execution registers as a run named
+    ["fig16a/<series>@<nodes>"]; CTF baselines (analytic) do not. The
+    other kernels follow the same convention with their figure ids. *)
+
+val innerprod :
+  ?profile:Distal_obs.Profile.t ->
+  ?nodes:int list -> ?base_i:int -> ?jk:int -> unit -> Figure.t
+
+val ttm :
+  ?profile:Distal_obs.Profile.t ->
+  ?nodes:int list -> ?base_i:int -> ?jk:int -> ?l:int -> unit -> Figure.t
+
+val mttkrp :
+  ?profile:Distal_obs.Profile.t ->
+  ?nodes:int list -> ?base_ij:int -> ?k:int -> ?l:int -> unit -> Figure.t

@@ -51,6 +51,46 @@ let save_csv ~dir t =
   close_out oc;
   path
 
+module Json = Distal_obs.Json
+
+let cell_to_json = function
+  | Value v -> Json.Float v
+  | Oom -> Json.String "oom"
+  | Unavailable -> Json.Null
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.String "distal-bench/v1");
+      ("id", Json.String t.id);
+      ("title", Json.String t.title);
+      ("unit", Json.String t.unit_);
+      ("nodes", Json.List (List.map (fun n -> Json.Int n) t.nodes));
+      ( "series",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("name", Json.String s.name);
+                   ( "cells",
+                     Json.List
+                       (List.map
+                          (fun (n, c) ->
+                            Json.Obj [ ("nodes", Json.Int n); ("value", cell_to_json c) ])
+                          s.cells) );
+                 ])
+             t.series) );
+    ]
+
+let save_json ~dir t =
+  let path = Filename.concat dir (t.id ^ ".json") in
+  let oc = open_out path in
+  output_string oc (Json.to_string_pretty (to_json t));
+  output_char oc '\n';
+  close_out oc;
+  path
+
 let print t =
   Printf.printf "== %s: %s (%s; higher is better) ==\n" t.id t.title t.unit_;
   let table =

@@ -38,6 +38,35 @@ let compute ~fig15a ~fig16 ~nodes =
     ho f16d "mttkrp" "1.8x-3.7x band";
   ]
 
+module Json = Distal_obs.Json
+
+let to_json ~nodes rows =
+  Json.Obj
+    [
+      ("schema", Json.String "distal-bench/v1");
+      ("id", Json.String "headline");
+      ("nodes", Json.Int nodes);
+      ( "rows",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("comparison", Json.String r.comparison);
+                   ("paper", Json.String r.paper);
+                   ( "measured",
+                     if Float.is_finite r.measured then Json.Float r.measured
+                     else Json.Null );
+                 ])
+             rows) );
+    ]
+
+let save_json ~file ~nodes rows =
+  let oc = open_out file in
+  output_string oc (Json.to_string_pretty (to_json ~nodes rows));
+  output_char oc '\n';
+  close_out oc
+
 let print rows =
   print_endline "== headline: paper-claimed vs measured speedups ==";
   let table = Distal_support.Table.create ~header:[ "comparison"; "paper"; "measured" ] in

@@ -22,3 +22,11 @@ val compute :
   row list
 
 val print : row list -> unit
+
+val to_json : nodes:int -> row list -> Distal_obs.Json.t
+(** Machine-readable rendering ([distal-bench/v1] schema, id ["headline"]):
+    one object per comparison with the paper's claim and the measured
+    factor (non-finite factors read [null]). *)
+
+val save_json : file:string -> nodes:int -> row list -> unit
+(** Write [to_json] (pretty-printed) to [file]. *)

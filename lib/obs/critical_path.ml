@@ -1,0 +1,139 @@
+type slot = { proc : int; compute : float; comm : float; busy : float }
+
+type step = {
+  index : int;
+  start : float;
+  cost : float;
+  slots : slot list;
+  bytes : float;
+  messages : int;
+  fabric : float;
+}
+
+type timeline = {
+  nprocs : int;
+  overhead : float;
+  reduction : float;
+  steps : step list;
+  total : float;
+}
+
+type node = {
+  step : int;
+  resource : string;
+  compute : float;
+  comm : float;
+  cost : float;
+}
+
+type t = {
+  end_time : float;
+  nodes : node list;
+  compute_time : float;
+  comm_time : float;
+  overhead : float;
+  reduction : float;
+  slack : (int * float) list;
+  bottleneck : string;
+}
+
+let step_bottleneck s =
+  let worst =
+    List.fold_left
+      (fun acc slot ->
+        match acc with
+        | Some best when best.busy >= slot.busy -> acc
+        | _ -> Some slot)
+      None s.slots
+  in
+  match worst with
+  | Some slot when s.fabric <= slot.busy ->
+      let compute = Float.min slot.compute s.cost in
+      {
+        step = s.index;
+        resource = Printf.sprintf "proc %d" slot.proc;
+        compute;
+        comm = Float.max 0.0 (s.cost -. compute);
+        cost = s.cost;
+      }
+  | Some _ | None ->
+      (* No processor reaches the charged cost: the step is fabric-bound
+         (or, with no slots at all, pure fabric traffic). *)
+      { step = s.index; resource = "fabric"; compute = 0.0; comm = s.cost; cost = s.cost }
+
+let bound_steps tl resource =
+  List.length
+    (List.filter (fun s -> (step_bottleneck s).resource = resource) tl.steps)
+
+let analyse tl =
+  let step_nodes = List.map step_bottleneck tl.steps in
+  let nodes =
+    (if tl.overhead > 0.0 then
+       [
+         {
+           step = -1;
+           resource = "runtime";
+           compute = 0.0;
+           comm = 0.0;
+           cost = tl.overhead;
+         };
+       ]
+     else [])
+    @ step_nodes
+    @
+    if tl.reduction > 0.0 then
+      [
+        {
+          step = -1;
+          resource = "reduction";
+          compute = 0.0;
+          comm = tl.reduction;
+          cost = tl.reduction;
+        };
+      ]
+    else []
+  in
+  let compute_time = List.fold_left (fun acc n -> acc +. n.compute) 0.0 nodes in
+  let comm_time = List.fold_left (fun acc n -> acc +. n.comm) 0.0 nodes in
+  let slack =
+    List.init tl.nprocs (fun p ->
+        let idle =
+          List.fold_left
+            (fun acc s ->
+              let busy =
+                match List.find_opt (fun sl -> sl.proc = p) s.slots with
+                | Some sl -> Float.min sl.busy s.cost
+                | None -> 0.0
+              in
+              acc +. (s.cost -. busy))
+            0.0 tl.steps
+        in
+        (p, idle))
+  in
+  let bottleneck =
+    let totals = Hashtbl.create 8 in
+    List.iter
+      (fun n ->
+        let t = try Hashtbl.find totals n.resource with Not_found -> 0.0 in
+        Hashtbl.replace totals n.resource (t +. n.cost))
+      nodes;
+    let best =
+      Hashtbl.fold
+        (fun r t acc ->
+          match acc with
+          | Some (_, t0) when t0 >= t -> acc
+          | _ -> Some (r, t))
+        totals None
+    in
+    match best with Some (r, _) -> r | None -> "idle"
+  in
+  {
+    end_time = tl.total;
+    nodes;
+    compute_time;
+    comm_time;
+    overhead = tl.overhead;
+    reduction = tl.reduction;
+    slack;
+    bottleneck;
+  }

@@ -1,0 +1,41 @@
+type run = {
+  pid : int;
+  name : string;
+  metrics : Metrics.registry;
+  mutable timeline : Critical_path.timeline option;
+}
+
+type t = {
+  sink : Event.sink;
+  mutable rev_runs : run list;
+  mutable next_pid : int;
+  mutable pending_name : string option;
+}
+
+let create () =
+  { sink = Event.sink (); rev_runs = []; next_pid = 1; pending_name = None }
+
+let sink t = t.sink
+
+let set_next_run_name t name = t.pending_name <- Some name
+
+let begin_run ?name ?fallback t =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let name =
+    match (name, t.pending_name, fallback) with
+    | Some n, _, _ -> n
+    | None, Some n, _ ->
+        t.pending_name <- None;
+        n
+    | None, None, Some n -> Printf.sprintf "%s%d" n pid
+    | None, None, None -> Printf.sprintf "run%d" pid
+  in
+  let run = { pid; name; metrics = Metrics.create (); timeline = None } in
+  t.rev_runs <- run :: t.rev_runs;
+  Span.process_name t.sink ~pid name;
+  run
+
+let runs t = List.rev t.rev_runs
+let find_run t name = List.find_opt (fun r -> r.name = name) (runs t)
+let events t = Event.events t.sink

@@ -1,0 +1,37 @@
+(** A profile: one event stream plus per-run metrics and timelines.
+
+    A profile is created once and threaded through any number of compiled
+    runs ([Exec.execute ?profile], [Api.run ?profile], a whole harness
+    figure). Each simulated execution registers itself as a {e run} — it
+    gets a fresh pid for its events, its own metrics registry, and a slot
+    for its step timeline — so several executions coexist in one exported
+    trace. Pid 0 is reserved for the compiler's wall-clock spans. *)
+
+type run = {
+  pid : int;
+  name : string;
+  metrics : Metrics.registry;
+  mutable timeline : Critical_path.timeline option;
+}
+
+type t
+
+val create : unit -> t
+val sink : t -> Event.sink
+
+val set_next_run_name : t -> string -> unit
+(** Name the next run registered by a layer that cannot name it itself
+    (e.g. the harness labelling the simulator's runs). Consumed by the next
+    {!begin_run} without an explicit [name]. *)
+
+val begin_run : ?name:string -> ?fallback:string -> t -> run
+(** Register a run: allocates the next pid, emits its process-name
+    metadata. Precedence for the name: explicit [name], then a pending
+    {!set_next_run_name}, then ["<fallback><pid>"], then ["run<pid>"]. *)
+
+val runs : t -> run list
+(** In registration order. *)
+
+val find_run : t -> string -> run option
+val events : t -> Event.t list
+(** The full stream, in emission order. *)

@@ -1,0 +1,164 @@
+module Table = Distal_support.Table
+module Cp = Critical_path
+
+let fsec t = Printf.sprintf "%.3g" t
+
+let bytes_human b =
+  if b >= 1e9 then Printf.sprintf "%.2f GB" (b /. 1e9)
+  else if b >= 1e6 then Printf.sprintf "%.2f MB" (b /. 1e6)
+  else if b >= 1e3 then Printf.sprintf "%.2f kB" (b /. 1e3)
+  else Printf.sprintf "%.0f B" b
+
+let step_table (tl : Cp.timeline) =
+  let table =
+    Table.create
+      ~header:
+        [
+          "step"; "cost (s)"; "procs"; "util"; "compute (s)"; "comm (s)"; "moved";
+          "msgs"; "bound by";
+        ]
+  in
+  List.iter
+    (fun (s : Cp.step) ->
+      let node = Cp.step_bottleneck s in
+      let util =
+        if s.Cp.cost <= 0.0 || tl.Cp.nprocs = 0 then 1.0
+        else
+          List.fold_left
+            (fun acc (sl : Cp.slot) -> acc +. Float.min sl.Cp.busy s.Cp.cost)
+            0.0 s.Cp.slots
+          /. (s.Cp.cost *. float_of_int tl.Cp.nprocs)
+      in
+      Table.add_row table
+        [
+          string_of_int s.Cp.index;
+          fsec s.Cp.cost;
+          string_of_int (List.length s.Cp.slots);
+          Printf.sprintf "%.0f%%" (100.0 *. util);
+          fsec node.Cp.compute;
+          fsec node.Cp.comm;
+          bytes_human s.Cp.bytes;
+          string_of_int s.Cp.messages;
+          node.Cp.resource;
+        ])
+    tl.Cp.steps;
+  Table.to_string table
+
+let critical_path_summary (cp : Cp.t) =
+  let total = cp.Cp.end_time in
+  let pct x = if total <= 0.0 then 0.0 else 100.0 *. x /. total in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "critical path: %.6g s end-to-end over %d links; bound by %s\n" total
+       (List.length cp.Cp.nodes) cp.Cp.bottleneck);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  compute %.6g s (%.0f%%)  exposed comm %.6g s (%.0f%%)  launch overhead \
+        %.6g s (%.0f%%)  reduction %.6g s (%.0f%%)\n"
+       cp.Cp.compute_time (pct cp.Cp.compute_time) cp.Cp.comm_time
+       (pct cp.Cp.comm_time) cp.Cp.overhead (pct cp.Cp.overhead) cp.Cp.reduction
+       (pct cp.Cp.reduction));
+  let laziest =
+    List.sort (fun (_, a) (_, b) -> compare b a) cp.Cp.slack |> fun l ->
+    List.filteri (fun i _ -> i < 3) l
+  in
+  if laziest <> [] then
+    Buffer.add_string buf
+      ("  most slack: "
+      ^ String.concat ", "
+          (List.map
+             (fun (p, s) -> Printf.sprintf "proc %d (%.3g s idle)" p s)
+             laziest)
+      ^ "\n");
+  Buffer.contents buf
+
+let run_report (run : Profile.run) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "== profile: %s ==\n" run.Profile.name);
+  (match run.Profile.timeline with
+  | Some tl ->
+      Buffer.add_string buf (step_table tl);
+      Buffer.add_string buf (critical_path_summary (Cp.analyse tl))
+  | None -> Buffer.add_string buf "(no timeline recorded)\n");
+  Buffer.add_string buf (Metrics.render run.Profile.metrics);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let slot_to_json (sl : Cp.slot) =
+  Json.Obj
+    [
+      ("proc", Json.Int sl.Cp.proc);
+      ("compute", Json.Float sl.Cp.compute);
+      ("comm", Json.Float sl.Cp.comm);
+      ("busy", Json.Float sl.Cp.busy);
+    ]
+
+let step_to_json (s : Cp.step) =
+  Json.Obj
+    [
+      ("index", Json.Int s.Cp.index);
+      ("start", Json.Float s.Cp.start);
+      ("cost", Json.Float s.Cp.cost);
+      ("bytes", Json.Float s.Cp.bytes);
+      ("messages", Json.Int s.Cp.messages);
+      ("fabric", Json.Float s.Cp.fabric);
+      ("slots", Json.List (List.map slot_to_json s.Cp.slots));
+    ]
+
+let timeline_to_json (tl : Cp.timeline) =
+  Json.Obj
+    [
+      ("nprocs", Json.Int tl.Cp.nprocs);
+      ("overhead", Json.Float tl.Cp.overhead);
+      ("reduction", Json.Float tl.Cp.reduction);
+      ("total", Json.Float tl.Cp.total);
+      ("steps", Json.List (List.map step_to_json tl.Cp.steps));
+    ]
+
+let node_to_json (n : Cp.node) =
+  Json.Obj
+    [
+      ("step", Json.Int n.Cp.step);
+      ("resource", Json.String n.Cp.resource);
+      ("compute", Json.Float n.Cp.compute);
+      ("comm", Json.Float n.Cp.comm);
+      ("cost", Json.Float n.Cp.cost);
+    ]
+
+let critical_path_to_json (cp : Cp.t) =
+  Json.Obj
+    [
+      ("end_time", Json.Float cp.Cp.end_time);
+      ("compute_time", Json.Float cp.Cp.compute_time);
+      ("comm_time", Json.Float cp.Cp.comm_time);
+      ("overhead", Json.Float cp.Cp.overhead);
+      ("reduction", Json.Float cp.Cp.reduction);
+      ("bottleneck", Json.String cp.Cp.bottleneck);
+      ("nodes", Json.List (List.map node_to_json cp.Cp.nodes));
+      ( "slack",
+        Json.List
+          (List.map
+             (fun (p, s) ->
+               Json.Obj [ ("proc", Json.Int p); ("idle", Json.Float s) ])
+             cp.Cp.slack) );
+    ]
+
+let run_to_json (run : Profile.run) =
+  Json.Obj
+    ([ ("pid", Json.Int run.Profile.pid); ("name", Json.String run.Profile.name) ]
+    @ (match run.Profile.timeline with
+      | Some tl ->
+          [
+            ("timeline", timeline_to_json tl);
+            ("critical_path", critical_path_to_json (Cp.analyse tl));
+          ]
+      | None -> [])
+    @ [ ("metrics", Metrics.to_json run.Profile.metrics) ])
+
+let profile_to_json p =
+  Json.Obj
+    [
+      ("schema", Json.String "distal-profile/v1");
+      ("runs", Json.List (List.map run_to_json (Profile.runs p)));
+    ]

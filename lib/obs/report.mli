@@ -1,0 +1,26 @@
+(** Human- and machine-readable renderings of a profiled run.
+
+    Generalizes the old [Gantt.summary] (copies and bytes per step) into a
+    full per-step breakdown: utilization, compute vs. exposed
+    communication, traffic, and the step's bottleneck resource — plus a
+    critical-path summary and JSON forms for the bench trajectory. *)
+
+val step_table : Critical_path.timeline -> string
+(** One row per bulk-synchronous step: charged cost, number of active
+    processors, mean utilization (busy/cost averaged over all processors),
+    bottleneck compute and exposed-comm split, bytes moved, message count,
+    and the bottleneck resource. *)
+
+val critical_path_summary : Critical_path.t -> string
+(** Total/compute/comm/overhead/reduction split, the dominating resource,
+    and the three laziest processors (most slack). *)
+
+val run_report : Profile.run -> string
+(** [step_table] + [critical_path_summary] + metric snapshot for one
+    run. *)
+
+val timeline_to_json : Critical_path.timeline -> Json.t
+val run_to_json : Profile.run -> Json.t
+val profile_to_json : Profile.t -> Json.t
+(** Every run's timeline, critical path and metrics (no raw events — those
+    are {!Chrome_trace}'s job). *)

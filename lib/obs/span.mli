@@ -1,0 +1,49 @@
+(** Emission helpers: build {!Event.t} values with less ceremony.
+
+    Two producers exist. The runtime simulator knows exact simulated
+    start/duration pairs after its timing assembly and uses {!complete} /
+    {!instant} / {!counter}; the compiler measures its own phases with the
+    process clock and wraps them with {!wall}. *)
+
+val complete :
+  Event.sink ->
+  name:string ->
+  cat:string ->
+  pid:int ->
+  tid:int ->
+  ts:float ->
+  dur:float ->
+  ?attrs:(string * Event.value) list ->
+  unit ->
+  unit
+(** A completed interval [ts, ts + dur) in simulated seconds. *)
+
+val instant :
+  Event.sink ->
+  name:string ->
+  cat:string ->
+  pid:int ->
+  tid:int ->
+  ts:float ->
+  ?attrs:(string * Event.value) list ->
+  unit ->
+  unit
+
+val counter :
+  Event.sink -> name:string -> pid:int -> tid:int -> ts:float -> float -> unit
+
+val process_name : Event.sink -> pid:int -> string -> unit
+val thread_name : Event.sink -> pid:int -> tid:int -> string -> unit
+
+val wall :
+  Event.sink option ->
+  name:string ->
+  ?cat:string ->
+  ?pid:int ->
+  ?attrs:(string * Event.value) list ->
+  (unit -> 'a) ->
+  'a
+(** [wall sink ~name f] runs [f] and, when [sink] is [Some _], records a
+    span of its process-clock duration (compiler phases). With [None] it
+    just runs [f] — call sites stay a single line whether or not a profile
+    is attached. *)

@@ -10,6 +10,11 @@ module Bounds = Distal_ir.Bounds
 module Taskir = Distal_ir.Taskir
 module Distnot = Distal_ir.Distnot
 module Kernel_match = Distal_ir.Kernel_match
+module Metrics = Distal_obs.Metrics
+module Profile = Distal_obs.Profile
+module Span = Distal_obs.Span
+module Event = Distal_obs.Event
+module Cp = Distal_obs.Critical_path
 
 type mode = Full | Model
 
@@ -71,6 +76,8 @@ let serial_reference stmt ~shapes ~data =
 (* One communication bundle: same payload, same source, same step. Several
    receivers make it a broadcast. *)
 type group = {
+  tensor : string;
+  piece : Rect.t;
   src : int;
   src_coord : int array;
   bytes : float;
@@ -87,7 +94,21 @@ let ops_per_point (stmt : Expr.stmt) =
   let c = count stmt.rhs + if Expr.reduction_vars stmt <> [] then 1 else 0 in
   max 1 c
 
-let execute ?(mode = Full) ?trace spec ~data =
+let execute ?(mode = Full) ?trace ?profile spec ~data =
+  (* Register this execution as a run of the profile (its own pid, metrics
+     registry and timeline slot). Without a profile the registry is private
+     to this call; either way it is the single accumulator the final
+     [Stats.t] view derives from. *)
+  let prun = Option.map (fun p -> Profile.begin_run ~fallback:"execute" p) profile in
+  let reg =
+    match prun with Some r -> r.Profile.metrics | None -> Metrics.create ()
+  in
+  let m_flops = Metrics.counter reg "exec.flops" in
+  let m_bytes_intra = Metrics.counter reg "exec.bytes_intra" in
+  let m_bytes_inter = Metrics.counter reg "exec.bytes_inter" in
+  let m_messages = Metrics.counter reg "exec.messages" in
+  let m_tasks = Metrics.counter reg "exec.tasks" in
+  let h_copy_bytes = Metrics.histogram reg "exec.copy_bytes" in
   let prog = spec.program in
   let stmt = prog.stmt in
   let prov = prog.prov in
@@ -237,14 +258,13 @@ let execute ?(mode = Full) ?trace spec ~data =
   let groups : (int * string, group) Hashtbl.t = Hashtbl.create 256 in
   let compute : (int * int, (float * float) ref) Hashtbl.t = Hashtbl.create 256 in
   let red_contribs : (string, float * int list) Hashtbl.t = Hashtbl.create 16 in
-  let stats = Stats.create () in
   let add_compute ~step ~proc ~flops ~bytes =
     (match Hashtbl.find_opt compute (step, proc) with
     | Some r ->
         let f, b = !r in
         r := (f +. flops, b +. bytes)
     | None -> Hashtbl.add compute (step, proc) (ref (flops, bytes)));
-    stats.Stats.flops <- stats.Stats.flops +. flops
+    Metrics.inc m_flops flops
   in
   let link_of a b = if Machine.same_node machine a b then Cost.Intra else Cost.Inter in
   (* Cross-rack traffic per step, for the tapered-fabric term (the network
@@ -266,17 +286,20 @@ let execute ?(mode = Full) ?trace spec ~data =
       let link = link_of src_coord dst_coord in
       (match Hashtbl.find_opt groups key with
       | Some g -> g.receivers <- (dst, link) :: g.receivers
-      | None -> Hashtbl.add groups key { src; src_coord; bytes; receivers = [ (dst, link) ] });
+      | None ->
+          Hashtbl.add groups key
+            { tensor; piece; src; src_coord; bytes; receivers = [ (dst, link) ] });
       (match link with
-      | Cost.Intra -> stats.Stats.bytes_intra <- stats.Stats.bytes_intra +. bytes
-      | Cost.Inter -> stats.Stats.bytes_inter <- stats.Stats.bytes_inter +. bytes);
+      | Cost.Intra -> Metrics.inc m_bytes_intra bytes
+      | Cost.Inter -> Metrics.inc m_bytes_inter bytes);
       if rack_of src_coord <> rack_of dst_coord then add_cross step bytes;
       (match trace with
       | Some log ->
           log :=
             { step; tensor; piece; src = src_coord; dst = dst_coord; bytes } :: !log
       | None -> ());
-      stats.Stats.messages <- stats.Stats.messages + 1
+      Metrics.observe h_copy_bytes bytes;
+      Metrics.inc_int m_messages 1
     end
   in
   (* Static per-processor memory: owned tiles of every tensor. *)
@@ -296,7 +319,7 @@ let execute ?(mode = Full) ?trace spec ~data =
   (* {3 Per-task walk} *)
   let ops = ops_per_point stmt in
   let run_task (point : int array) =
-    stats.Stats.tasks <- stats.Stats.tasks + 1;
+    Metrics.inc_int m_tasks 1;
     let proc_coord = Mapper.proc_of_point machine ~launch_dims:ldims point in
     let proc = Machine.linearize machine proc_coord in
     let env_tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
@@ -528,6 +551,14 @@ let execute ?(mode = Full) ?trace spec ~data =
   in
   List.iter run_task points;
   (* {3 Timing assembly} *)
+  (* Deterministic order throughout this phase: groups sorted by (step,
+     key), steps ascending, processors ascending — so two runs of the same
+     spec (and [Full] vs [Model] of the same spec) produce identical event
+     streams and bit-identical times. *)
+  let group_list =
+    Hashtbl.fold (fun k g acc -> (k, g) :: acc) groups []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
   (* A processor's communication time in a step combines its send and
      receive occupancies per the cost model's duplex mode (full-duplex
      NICs overlap them; framebuffer DMA serializes them). *)
@@ -539,9 +570,18 @@ let execute ?(mode = Full) ?trace spec ~data =
         r := (s +. send, v +. recv)
     | None -> Hashtbl.add comm (step, proc) (ref (send, recv))
   in
-  Hashtbl.iter
-    (fun (step, _) g ->
+  (* Per-step traffic totals, for the step breakdown. *)
+  let step_traffic : (int, (float * int) ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun ((step, _), g) ->
       let k = List.length g.receivers in
+      (let bytes, msgs =
+         match Hashtbl.find_opt step_traffic step with Some r -> !r | None -> (0.0, 0)
+       in
+       let v = (bytes +. (g.bytes *. float_of_int k), msgs + k) in
+       match Hashtbl.find_opt step_traffic step with
+       | Some r -> r := v
+       | None -> Hashtbl.add step_traffic step (ref v));
       if k = 1 then begin
         let dst, link = List.hd g.receivers in
         let t = Cost.copy_time cost link ~bytes:g.bytes in
@@ -563,14 +603,7 @@ let execute ?(mode = Full) ?trace spec ~data =
           ~send:(Cost.broadcast_time cost worst ~bytes:g.bytes ~receivers:k)
           ~recv:0.0
       end)
-    groups;
-  (* Active steps: max over processors of overlapped compute+comm. *)
-  let step_cost : (int, float) Hashtbl.t = Hashtbl.create 64 in
-  let bump step t =
-    match Hashtbl.find_opt step_cost step with
-    | Some t0 -> if t > t0 then Hashtbl.replace step_cost step t
-    | None -> Hashtbl.add step_cost step t
-  in
+    group_list;
   let comm_of step proc =
     match Hashtbl.find_opt comm (step, proc) with
     | Some r ->
@@ -578,66 +611,233 @@ let execute ?(mode = Full) ?trace spec ~data =
         Cost.combine_sr cost ~send:s ~recv:v
     | None -> 0.0
   in
-  Hashtbl.iter
-    (fun (step, proc) r ->
-      let flops, bytes = !r in
-      let cmp = Cost.compute_time cost ~flops ~bytes_touched:bytes in
-      bump step (Cost.step_time cost ~compute:cmp ~comm:(comm_of step proc)))
-    compute;
-  Hashtbl.iter
-    (fun (step, proc) _ ->
-      if not (Hashtbl.mem compute (step, proc)) then
-        bump step (Cost.step_time cost ~compute:0.0 ~comm:(comm_of step proc)))
-    comm;
-  Hashtbl.iter
-    (fun step bytes -> bump step (Cost.fabric_time cost ~cross_rack_bytes:!bytes ~racks))
-    cross;
-  let time = Hashtbl.fold (fun _ t acc -> acc +. t) step_cost 0.0 in
-  (* Reduction epilogue: independent tiles reduce in parallel. *)
-  let red_time =
-    Hashtbl.fold
-      (fun _ (bytes, procs) acc ->
-        let k = List.length procs in
-        if k <= 1 then acc
-        else begin
-          let coords = List.map (Machine.delinearize machine) procs in
-          let first = List.hd coords in
-          let link =
-            if List.for_all (fun c -> Machine.same_node machine first c) coords then
-              Cost.Intra
-            else Cost.Inter
-          in
-          (match link with
-          | Cost.Intra ->
-              stats.Stats.bytes_intra <-
-                stats.Stats.bytes_intra +. (bytes *. float_of_int (k - 1))
-          | Cost.Inter ->
-              stats.Stats.bytes_inter <-
-                stats.Stats.bytes_inter +. (bytes *. float_of_int (k - 1)));
-          stats.Stats.messages <- stats.Stats.messages + (k - 1);
-          max acc (Cost.reduce_time cost link ~bytes ~contributors:k)
-        end)
-      red_contribs 0.0
+  (* Active steps: union of every step with compute, communication or
+     cross-rack traffic, with the processors active in each. *)
+  let step_procs : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let note_proc (step, proc) =
+    match Hashtbl.find_opt step_procs step with
+    | Some l -> if not (List.mem proc !l) then l := proc :: !l
+    | None -> Hashtbl.add step_procs step (ref [ proc ])
   in
+  Hashtbl.iter (fun k _ -> note_proc k) compute;
+  Hashtbl.iter (fun k _ -> note_proc k) comm;
+  Hashtbl.iter
+    (fun step _ ->
+      if not (Hashtbl.mem step_procs step) then Hashtbl.add step_procs step (ref []))
+    cross;
+  let active_steps =
+    Hashtbl.fold (fun s _ acc -> s :: acc) step_procs [] |> List.sort compare
+  in
+  (* One timeline step per active step: per-processor occupancies, the
+     charged cost (max over processors of overlapped compute+comm, or the
+     rack fabric), and the traffic that moved. *)
+  let h_step_time = Metrics.histogram reg "exec.step_time" in
+  let start = ref 0.0 in
   let tasks_per_proc = Ints.ceil_div (List.length points) nprocs in
   let overhead = float_of_int tasks_per_proc *. cost.Cost.task_overhead in
-  stats.Stats.time <- time +. red_time +. overhead;
-  stats.Stats.steps <- nsteps;
+  start := overhead;
+  let step_rows =
+    List.map
+      (fun step ->
+        let procs = List.sort compare !(Hashtbl.find step_procs step) in
+        let slots =
+          List.map
+            (fun proc ->
+              let cmp =
+                match Hashtbl.find_opt compute (step, proc) with
+                | Some r ->
+                    let flops, bytes = !r in
+                    Cost.compute_time cost ~flops ~bytes_touched:bytes
+                | None -> 0.0
+              in
+              let cm = comm_of step proc in
+              {
+                Cp.proc;
+                compute = cmp;
+                comm = cm;
+                busy = Cost.step_time cost ~compute:cmp ~comm:cm;
+              })
+            procs
+        in
+        let fabric =
+          match Hashtbl.find_opt cross step with
+          | Some b -> Cost.fabric_time cost ~cross_rack_bytes:!b ~racks
+          | None -> 0.0
+        in
+        let cost_step =
+          List.fold_left (fun acc (sl : Cp.slot) -> Float.max acc sl.Cp.busy) fabric slots
+        in
+        let bytes, messages =
+          match Hashtbl.find_opt step_traffic step with Some r -> !r | None -> (0.0, 0)
+        in
+        Metrics.observe h_step_time cost_step;
+        let row =
+          { Cp.index = step; start = !start; cost = cost_step; slots; bytes; messages;
+            fabric }
+        in
+        start := !start +. cost_step;
+        row)
+      active_steps
+  in
+  let time =
+    List.fold_left (fun acc (r : Cp.step) -> acc +. r.Cp.cost) 0.0 step_rows
+  in
+  (* Reduction epilogue: independent tiles reduce in parallel. *)
+  let red_time =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) red_contribs []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.fold_left
+         (fun acc (_, (bytes, procs)) ->
+           let k = List.length procs in
+           if k <= 1 then acc
+           else begin
+             let coords = List.map (Machine.delinearize machine) procs in
+             let first = List.hd coords in
+             let link =
+               if List.for_all (fun c -> Machine.same_node machine first c) coords then
+                 Cost.Intra
+               else Cost.Inter
+             in
+             (match link with
+             | Cost.Intra ->
+                 Metrics.inc m_bytes_intra (bytes *. float_of_int (k - 1))
+             | Cost.Inter ->
+                 Metrics.inc m_bytes_inter (bytes *. float_of_int (k - 1)));
+             Metrics.inc_int m_messages (k - 1);
+             max acc (Cost.reduce_time cost link ~bytes ~contributors:k)
+           end)
+         0.0
+  in
+  let total_time = overhead +. time +. red_time in
+  Metrics.set (Metrics.gauge reg "exec.time") total_time;
+  Metrics.set (Metrics.gauge reg "exec.steps") (float_of_int nsteps);
+  Metrics.set (Metrics.gauge reg "exec.overhead_time") overhead;
+  Metrics.set (Metrics.gauge reg "exec.reduction_time") red_time;
   (* Memory accounting. *)
   let mem_limit = Machine.mem_per_proc_bytes machine in
+  let g_peak = Metrics.gauge reg "exec.peak_mem" in
+  let g_oom = Metrics.gauge reg "exec.oom" in
   for p = 0 to nprocs - 1 do
     let m = static_mem.(p) +. dyn_peak.(p) in
-    if m > stats.Stats.peak_mem then stats.Stats.peak_mem <- m;
-    if m > mem_limit then stats.Stats.oom <- true
+    Metrics.set_max g_peak m;
+    if m > mem_limit then Metrics.set g_oom 1.0
   done;
+  (* {3 Profile emission} *)
+  (match (profile, prun) with
+  | Some p, Some run ->
+      let sink = Profile.sink p in
+      let pid = run.Profile.pid in
+      let rt = nprocs in
+      Span.thread_name sink ~pid ~tid:rt "runtime";
+      for proc = 0 to nprocs - 1 do
+        Span.thread_name sink ~pid ~tid:proc
+          (Printf.sprintf "proc %d %s" proc
+             (Ints.to_string (Machine.delinearize machine proc)))
+      done;
+      if overhead > 0.0 then
+        Span.complete sink ~name:"task launch overhead" ~cat:"runtime" ~pid ~tid:rt
+          ~ts:0.0 ~dur:overhead
+          ~attrs:[ ("tasks_per_proc", Event.Int tasks_per_proc) ]
+          ();
+      let copy_groups_of =
+        let tbl : (int, group list ref) Hashtbl.t = Hashtbl.create 64 in
+        List.iter
+          (fun ((step, _), g) ->
+            match Hashtbl.find_opt tbl step with
+            | Some l -> l := g :: !l
+            | None -> Hashtbl.add tbl step (ref [ g ]))
+          (List.rev group_list);
+        fun step -> match Hashtbl.find_opt tbl step with Some l -> !l | None -> []
+      in
+      List.iter
+        (fun (row : Cp.step) ->
+          Span.complete sink
+            ~name:(Printf.sprintf "step %d" row.Cp.index)
+            ~cat:"step" ~pid ~tid:rt ~ts:row.Cp.start ~dur:row.Cp.cost
+            ~attrs:
+              [
+                ("bytes", Event.Float row.Cp.bytes);
+                ("messages", Event.Int row.Cp.messages);
+                ("fabric", Event.Float row.Cp.fabric);
+              ]
+            ();
+          Span.counter sink ~name:"bytes moved" ~pid ~tid:rt ~ts:row.Cp.start
+            row.Cp.bytes;
+          List.iter
+            (fun (sl : Cp.slot) ->
+              if sl.Cp.compute > 0.0 then
+                Span.complete sink ~name:"compute" ~cat:"compute" ~pid ~tid:sl.Cp.proc
+                  ~ts:row.Cp.start ~dur:sl.Cp.compute
+                  ~attrs:
+                    (match Hashtbl.find_opt compute (row.Cp.index, sl.Cp.proc) with
+                    | Some r ->
+                        let flops, bytes = !r in
+                        [
+                          ("flops", Event.Float flops);
+                          ("bytes_touched", Event.Float bytes);
+                        ]
+                    | None -> [])
+                  ();
+              let exposed = sl.Cp.busy -. sl.Cp.compute in
+              if exposed > 0.0 then
+                Span.complete sink ~name:"comm" ~cat:"comm" ~pid ~tid:sl.Cp.proc
+                  ~ts:(row.Cp.start +. sl.Cp.compute) ~dur:exposed
+                  ~attrs:[ ("occupancy", Event.Float sl.Cp.comm) ]
+                  ())
+            row.Cp.slots;
+          List.iter
+            (fun g ->
+              let k = List.length g.receivers in
+              List.iter
+                (fun (dst, link) ->
+                  Span.instant sink ~name:g.tensor ~cat:"copy" ~pid ~tid:dst
+                    ~ts:row.Cp.start
+                    ~attrs:
+                      [
+                        ("tensor", Event.Str g.tensor);
+                        ("piece", Event.Str (Rect.to_string g.piece));
+                        ("src", Event.Int g.src);
+                        ("dst", Event.Int dst);
+                        ("bytes", Event.Float g.bytes);
+                        ( "link",
+                          Event.Str
+                            (match link with Cost.Intra -> "intra" | Cost.Inter -> "inter")
+                        );
+                        ("receivers", Event.Int k);
+                      ]
+                    ())
+                (List.rev g.receivers))
+            (copy_groups_of row.Cp.index))
+        step_rows;
+      if red_time > 0.0 then
+        Span.complete sink ~name:"distributed reduction" ~cat:"reduction" ~pid ~tid:rt
+          ~ts:(overhead +. time) ~dur:red_time ();
+      run.Profile.timeline <-
+        Some
+          {
+            Cp.nprocs;
+            overhead;
+            reduction = red_time;
+            steps = step_rows;
+            total = total_time;
+          }
+  | _ -> ());
+  let stats = Stats.of_registry reg in
   (match trace with Some log -> log := List.rev !log | None -> ());
   let output = if mode = Full then Hashtbl.find_opt global out_name else None in
   Ok { output; stats }
 
 (* {2 Redistribution} *)
 
-let redistribute machine cost ~shape ~src ~dst =
-  let stats = Stats.create () in
+let redistribute ?profile machine cost ~shape ~src ~dst =
+  let prun = Option.map (fun p -> Profile.begin_run ~fallback:"redistribute" p) profile in
+  let reg =
+    match prun with Some r -> r.Profile.metrics | None -> Metrics.create ()
+  in
+  let m_bytes_intra = Metrics.counter reg "exec.bytes_intra" in
+  let m_bytes_inter = Metrics.counter reg "exec.bytes_inter" in
+  let m_messages = Metrics.counter reg "exec.messages" in
+  let h_copy_bytes = Metrics.histogram reg "exec.copy_bytes" in
   let src_tiles = Distnot.tiles src ~shape ~machine in
   let dst_tiles = Distnot.tiles dst ~shape ~machine in
   let recv = Hashtbl.create 64 and send = Hashtbl.create 64 in
@@ -646,6 +846,8 @@ let redistribute machine cost ~shape ~src ~dst =
     | Some r -> r := !r +. t
     | None -> Hashtbl.add tbl p (ref t)
   in
+  (* (piece, src proc, dst proc, bytes, link), in issue order. *)
+  let transfers = ref [] in
   List.iter
     (fun (dr, downers) ->
       List.iter
@@ -669,17 +871,92 @@ let redistribute machine cost ~shape ~src ~dst =
                   if Machine.same_node machine srcp dcoord then Cost.Intra else Cost.Inter
                 in
                 let t = Cost.copy_time cost link ~bytes in
-                bump recv (Machine.linearize machine dcoord) t;
-                bump send (Machine.linearize machine srcp) t;
-                stats.Stats.messages <- stats.Stats.messages + 1;
+                let sp = Machine.linearize machine srcp in
+                let dp = Machine.linearize machine dcoord in
+                bump recv dp t;
+                bump send sp t;
+                transfers := (piece, sp, dp, bytes, link) :: !transfers;
+                Metrics.observe h_copy_bytes bytes;
+                Metrics.inc_int m_messages 1;
                 match link with
-                | Cost.Intra -> stats.Stats.bytes_intra <- stats.Stats.bytes_intra +. bytes
-                | Cost.Inter -> stats.Stats.bytes_inter <- stats.Stats.bytes_inter +. bytes
+                | Cost.Intra -> Metrics.inc m_bytes_intra bytes
+                | Cost.Inter -> Metrics.inc m_bytes_inter bytes
               end)
             src_tiles)
         downers)
     dst_tiles;
   let maxt tbl = Hashtbl.fold (fun _ r acc -> max acc !r) tbl 0.0 in
-  stats.Stats.time <- max (maxt recv) (maxt send);
-  stats.Stats.steps <- 1;
-  stats
+  let time = max (maxt recv) (maxt send) in
+  Metrics.set (Metrics.gauge reg "exec.time") time;
+  Metrics.set (Metrics.gauge reg "exec.steps") 1.0;
+  (match (profile, prun) with
+  | Some p, Some run ->
+      let sink = Profile.sink p in
+      let pid = run.Profile.pid in
+      let nprocs = Machine.num_procs machine in
+      for proc = 0 to nprocs - 1 do
+        Span.thread_name sink ~pid ~tid:proc
+          (Printf.sprintf "proc %d %s" proc
+             (Ints.to_string (Machine.delinearize machine proc)))
+      done;
+      (* One exchange step: each processor is busy for the larger of its
+         send and receive occupancy. *)
+      let occ tbl p = match Hashtbl.find_opt tbl p with Some r -> !r | None -> 0.0 in
+      let procs =
+        List.sort_uniq compare
+          (Hashtbl.fold (fun p _ acc -> p :: acc) recv []
+          @ Hashtbl.fold (fun p _ acc -> p :: acc) send [])
+      in
+      let slots =
+        List.map
+          (fun p ->
+            let busy = Float.max (occ recv p) (occ send p) in
+            { Cp.proc = p; compute = 0.0; comm = busy; busy })
+          procs
+      in
+      List.iter
+        (fun (sl : Cp.slot) ->
+          if sl.Cp.busy > 0.0 then
+            Span.complete sink ~name:"redistribute" ~cat:"comm" ~pid ~tid:sl.Cp.proc
+              ~ts:0.0 ~dur:sl.Cp.busy ())
+        slots;
+      let total_bytes = ref 0.0 and msgs = ref 0 in
+      List.iter
+        (fun (piece, sp, dp, bytes, link) ->
+          total_bytes := !total_bytes +. bytes;
+          incr msgs;
+          Span.instant sink ~name:"redistribute copy" ~cat:"copy" ~pid ~tid:dp ~ts:0.0
+            ~attrs:
+              [
+                ("piece", Event.Str (Rect.to_string piece));
+                ("src", Event.Int sp);
+                ("dst", Event.Int dp);
+                ("bytes", Event.Float bytes);
+                ( "link",
+                  Event.Str
+                    (match link with Cost.Intra -> "intra" | Cost.Inter -> "inter") );
+              ]
+            ())
+        (List.rev !transfers);
+      run.Profile.timeline <-
+        Some
+          {
+            Cp.nprocs;
+            overhead = 0.0;
+            reduction = 0.0;
+            steps =
+              [
+                {
+                  Cp.index = 0;
+                  start = 0.0;
+                  cost = time;
+                  slots;
+                  bytes = !total_bytes;
+                  messages = !msgs;
+                  fabric = 0.0;
+                };
+              ];
+            total = time;
+          }
+  | _ -> ());
+  Stats.of_registry reg

@@ -55,13 +55,23 @@ val trace_to_string : trace_event -> string
 val execute :
   ?mode:mode ->
   ?trace:trace_event list ref ->
+  ?profile:Distal_obs.Profile.t ->
   spec ->
   data:(string * Distal_tensor.Dense.t) list ->
   (result, string) Stdlib.result
 (** Run the program. [data] supplies the input tensors (and, for [+=]
     statements, the output's initial value); in [Model] mode it is ignored
     and [output] is [None]. With [trace], every copy event is appended to
-    the list (in issue order) — the communication pattern of Fig. 8/12. *)
+    the list (in issue order) — the communication pattern of Fig. 8/12.
+
+    With [profile], the execution registers itself as a run of the profile
+    and emits structured observability data: per-step compute/comm spans
+    for every processor, copy/broadcast instants with tensor, piece and
+    byte attributes, a per-step timeline for
+    {!Distal_obs.Critical_path.analyse}, and an [exec.*] metrics registry.
+    The event stream is deterministic — [Full] and [Model] runs of the
+    same spec produce identical streams — and the timeline's [total]
+    equals the returned [Stats.time] exactly. *)
 
 val serial_reference :
   Distal_ir.Expr.stmt ->
@@ -72,6 +82,7 @@ val serial_reference :
     correctness oracle for every distributed schedule. *)
 
 val redistribute :
+  ?profile:Distal_obs.Profile.t ->
   Distal_machine.Machine.t ->
   Distal_machine.Cost_model.t ->
   shape:int array ->
@@ -80,4 +91,6 @@ val redistribute :
   Stats.t
 (** Cost of moving a tensor between two distributed layouts (§1: "easily
     transform data between distributed layouts to match the computation").
-    One bulk-synchronous exchange step. *)
+    One bulk-synchronous exchange step. With [profile], every transfer is
+    recorded as a copy event and the exchange becomes a one-step
+    timeline. *)

@@ -39,6 +39,25 @@ let add a b =
     steps = a.steps + b.steps;
   }
 
+(* The metric names the executor registers; [of_registry] is the bridge
+   that keeps this record a derived view now that the simulator accumulates
+   into a [Distal_obs.Metrics] registry. *)
+let of_registry reg =
+  let v name =
+    match Distal_obs.Metrics.value reg name with Some x -> x | None -> 0.0
+  in
+  {
+    time = v "exec.time";
+    flops = v "exec.flops";
+    bytes_intra = v "exec.bytes_intra";
+    bytes_inter = v "exec.bytes_inter";
+    messages = int_of_float (v "exec.messages");
+    peak_mem = v "exec.peak_mem";
+    oom = v "exec.oom" > 0.0;
+    tasks = int_of_float (v "exec.tasks");
+    steps = int_of_float (v "exec.steps");
+  }
+
 let to_string t =
   Printf.sprintf
     "time=%.3gs flops=%.3g intra=%.3gB inter=%.3gB msgs=%d peak=%.3gB tasks=%d steps=%d%s"

@@ -23,4 +23,9 @@ val gbs : t -> bytes:float -> float
 val add : t -> t -> t
 (** Sequential composition: times and volumes add, peak memory maxes. *)
 
+val of_registry : Distal_obs.Metrics.registry -> t
+(** Derive the aggregate view from the simulator's metrics registry (the
+    [exec.*] counters and gauges {!Exec.execute} maintains). Missing
+    metrics read as zero. *)
+
 val to_string : t -> string

@@ -3,7 +3,8 @@ type t = { header : string list; mutable rows : string list list }
 let create ~header = { header; rows = [] }
 let add_row t row = t.rows <- row :: t.rows
 
-let print ?(oc = stdout) t =
+let to_string t =
+  let buf = Buffer.create 256 in
   let rows = List.rev t.rows in
   let all = t.header :: rows in
   let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
@@ -12,8 +13,13 @@ let print ?(oc = stdout) t =
     (List.iteri (fun i cell -> width.(i) <- max width.(i) (String.length cell)))
     all;
   let pad i cell = cell ^ String.make (width.(i) - String.length cell) ' ' in
-  let print_row r = output_string oc ("  " ^ String.concat "  " (List.mapi pad r) ^ "\n") in
-  print_row t.header;
+  let add_row r =
+    Buffer.add_string buf ("  " ^ String.concat "  " (List.mapi pad r) ^ "\n")
+  in
+  add_row t.header;
   let rule = List.mapi (fun i _ -> String.make width.(i) '-') t.header in
-  print_row rule;
-  List.iter print_row rows
+  add_row rule;
+  List.iter add_row rows;
+  Buffer.contents buf
+
+let print ?(oc = stdout) t = output_string oc (to_string t)

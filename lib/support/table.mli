@@ -6,3 +6,6 @@ val create : header:string list -> t
 val add_row : t -> string list -> unit
 val print : ?oc:out_channel -> t -> unit
 (** Print with columns padded to the widest cell, header underlined. *)
+
+val to_string : t -> string
+(** The same rendering as {!print}, as a string. *)
