@@ -5,7 +5,11 @@
 
    Usage: main.exe [section ...]
    Sections: leaf compile fig15a fig15b fig16a fig16b fig16c fig16d
-             headline ablation. No arguments runs everything.
+             headline simperf ablation. No arguments runs everything.
+
+   simperf measures the simulator itself (wall-clock throughput over a
+   fig16-sized kernel and a cyclic GEMM) and writes BENCH_simperf.json;
+   simperf-small is the quick configuration the test suite runs.
 
    main.exe profile [target] [-o out.json] runs a target under the
    observability subsystem (lib/obs), writes a Chrome trace_event JSON
@@ -154,6 +158,161 @@ let headline () =
   let file = "BENCH_headline.json" in
   Headline.save_json ~file ~nodes:256 rows;
   Printf.printf "wrote %s\n" file
+
+(* {2 simperf: wall-clock throughput of the simulator itself}
+
+   Unlike every other section, this measures the simulator as a program,
+   not the machine it models: tasks simulated per second, copy groups
+   formed per second, and wall-clock per execution, on a fig16-sized
+   tensor kernel and on cyclically-distributed workloads whose huge tile
+   sets exercise the executor's spatial index. *)
+
+(* SUMMA-style GEMM over cyclically distributed operands: every
+   communicate point intersects its footprint with a per-element tile set,
+   the hot path the per-tensor spatial index serves. *)
+let simperf_gemm ~n ~grid ~chunks =
+  let machine = Machine.grid [| grid; grid |] in
+  let p =
+    Api.problem_exn ~machine ~stmt:"A(i,j) = B(i,k) * C(k,j)"
+      ~tensors:
+        [
+          Api.tensor "A" [| n; n |] ~dist:"[x,y] -> [x,y]";
+          Api.tensor "B" [| n; n |] ~dist:"[x,y] -> [x%1,y%1]";
+          Api.tensor "C" [| n; n |] ~dist:"[x,y] -> [x%1,y%1]";
+        ]
+      ()
+  in
+  let schedule =
+    Printf.sprintf
+      "distribute_onto({i,j}, {io,jo}, {ii,ji}, [%d,%d]); split(k, ko, ki, %d);\n\
+       reorder(ko, ii, ji, ki); communicate(A, jo); communicate({B,C}, ko)"
+      grid grid chunks
+  in
+  Api.compile_script_exn p ~schedule
+
+(* Fig16-sized TTV, cyclic over i and over-decomposed onto a virtual
+   grid: thousands of tasks each resolve a distinct footprint against a
+   tile-per-row layout, so piece lookup — not event processing — is the
+   bottleneck. *)
+let simperf_cyclic_ttv ~i ~jk ~procs ~vprocs =
+  let machine = Machine.grid ~kind:Machine.Cpu ~mem_per_proc:256e9 [| procs |] in
+  let p =
+    Api.problem_exn ~machine ~virtual_grid:[| vprocs |] ~stmt:"A(i,j) = B(i,j,k) * c(k)"
+      ~tensors:
+        [
+          Api.tensor "A" [| i; jk |] ~dist:"[x,y] -> [x%1]";
+          Api.tensor "B" [| i; jk; jk |] ~dist:"[x,y,z] -> [x%1]";
+          Api.tensor "c" [| jk |] ~dist:"[x] -> [*]";
+        ]
+      ()
+  in
+  Api.compile_script_exn p
+    ~schedule:
+      (Printf.sprintf "divide(i, io, ii, %d); distribute(io); communicate({A,B,c}, io)"
+         vprocs)
+
+(* One profiled run for the event counts, then [reps] timed runs. *)
+let simperf_measure plan ~reps =
+  let profile = Profile.create () in
+  (match Api.run ~mode:Api.Exec.Model ~profile plan ~data:[] with
+  | Ok _ -> ()
+  | Error e -> failwith ("simperf run failed: " ^ e));
+  let metric name run =
+    match Metrics.value run.Profile.metrics name with Some v -> v | None -> 0.0
+  in
+  let run = List.hd (Profile.runs profile) in
+  let tasks = metric "exec.tasks" run in
+  let groups = metric "exec.copy_groups" run in
+  let t0 = Sys.time () in
+  for _ = 1 to reps do
+    match Api.run ~mode:Api.Exec.Model plan ~data:[] with
+    | Ok _ -> ()
+    | Error e -> failwith ("simperf run failed: " ^ e)
+  done;
+  let wall = (Sys.time () -. t0) /. float_of_int reps in
+  (tasks, groups, wall)
+
+let simperf_run ~small () =
+  Printf.printf "== simperf: simulator throughput (real wall clock%s) ==\n"
+    (if small then ", small config" else "");
+  let module H = Distal_algorithms.Higher_order in
+  let specs =
+    if small then
+      [
+        ("cyclic-gemm", simperf_gemm ~n:64 ~grid:4 ~chunks:8, 1);
+        ("cyclic-ttv", simperf_cyclic_ttv ~i:512 ~jk:32 ~procs:4 ~vprocs:128, 1);
+        ( "ttv",
+          (Result.get_ok
+             (H.ttv ~i:256 ~j:64 ~k:64
+                ~machine:(Machine.grid ~kind:Machine.Cpu ~mem_per_proc:256e9 [| 4 |])))
+            .H.plan,
+          1 );
+      ]
+    else
+      [
+        ("cyclic-gemm", simperf_gemm ~n:256 ~grid:4 ~chunks:64, 1);
+        ("cyclic-ttv", simperf_cyclic_ttv ~i:8192 ~jk:512 ~procs:16 ~vprocs:2048, 3);
+        ( "ttv",
+          (Result.get_ok
+             (H.ttv ~i:8192 ~j:512 ~k:512
+                ~machine:(Machine.grid ~kind:Machine.Cpu ~mem_per_proc:256e9 [| 16 |])))
+            .H.plan,
+          3 );
+      ]
+  in
+  let table =
+    Distal_support.Table.create
+      ~header:[ "workload"; "wall/run"; "tasks/s"; "copy groups/s" ]
+  in
+  let metrics = ref [] in
+  List.iter
+    (fun (name, plan, reps) ->
+      let tasks, groups, wall = simperf_measure plan ~reps in
+      let per v = if wall > 0.0 then v /. wall else 0.0 in
+      Distal_support.Table.add_row table
+        [
+          name;
+          Printf.sprintf "%.3f ms" (wall *. 1e3);
+          Printf.sprintf "%.0f" (per tasks);
+          Printf.sprintf "%.0f" (per groups);
+        ];
+      metrics :=
+        !metrics
+        @ [
+            (name ^ ".wall_s", wall, "s");
+            (name ^ ".tasks_per_s", per tasks, "tasks/s");
+            (name ^ ".copy_groups_per_s", per groups, "groups/s");
+          ])
+    specs;
+  Distal_support.Table.print table;
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "distal-bench/v1");
+        ("id", Json.String "simperf");
+        ( "metrics",
+          Json.List
+            (List.map
+               (fun (name, value, unit_) ->
+                 Json.Obj
+                   [
+                     ("name", Json.String name);
+                     ( "value",
+                       if Float.is_finite value then Json.Float value else Json.Null );
+                     ("unit", Json.String unit_);
+                   ])
+               !metrics) );
+      ]
+  in
+  let file = "BENCH_simperf.json" in
+  let oc = open_out file in
+  output_string oc (Json.to_string_pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n\n" file
+
+let simperf () = simperf_run ~small:false ()
+let simperf_small () = simperf_run ~small:true ()
 
 (* {2 Ablations: the design choices DESIGN.md calls out} *)
 
@@ -374,6 +533,8 @@ let sections =
     ("fig16c", fig16c);
     ("fig16d", fig16d);
     ("headline", headline);
+    ("simperf", simperf);
+    ("simperf-small", simperf_small);
     ("ablation", ablation);
     ("auto", auto);
     ("strong", strong);
@@ -387,7 +548,10 @@ let () =
         profile_cmd rest;
         []
     | _ :: (_ :: _ as args) -> args
-    | _ -> List.filter (fun s -> s <> "csv") (List.map fst sections)
+    | _ ->
+        List.filter
+          (fun s -> s <> "csv" && s <> "simperf-small")
+          (List.map fst sections)
   in
   List.iter
     (fun name ->

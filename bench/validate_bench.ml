@@ -2,8 +2,8 @@
    the test suite against freshly generated files. Understands two
    document kinds and picks by shape:
 
-   - distal-bench/v1: headline rows or figure series (Figure.to_json,
-     Headline.to_json);
+   - distal-bench/v1: headline rows, figure series or metric lists
+     (Figure.to_json, Headline.to_json, the simperf section);
    - Chrome trace_event files (Chrome_trace).
 
    Exits nonzero with a diagnostic on the first violation. *)
@@ -64,11 +64,25 @@ let check_figure ~file j =
     series;
   Printf.printf "%s: ok (figure, %d series)\n" file (List.length series)
 
+let check_metrics ~file j =
+  let metrics = expect_list ~file ~what:"metrics" (Json.member "metrics" j) in
+  if metrics = [] then fail "%s: no metrics" file;
+  List.iter
+    (fun m ->
+      ignore (expect_string ~file ~what:"metric name" (Json.member "name" m));
+      ignore (expect_string ~file ~what:"metric unit" (Json.member "unit" m));
+      match Json.member "value" m with
+      | Some (Json.Float _ | Json.Int _ | Json.Null) -> ()
+      | _ -> fail "%s: metric value must be a number or null" file)
+    metrics;
+  Printf.printf "%s: ok (metrics, %d entries)\n" file (List.length metrics)
+
 let check_bench ~file j =
   (match Json.member "schema" j with
   | Some (Json.String "distal-bench/v1") -> ()
   | _ -> fail "%s: schema must be \"distal-bench/v1\"" file);
   if Json.member "rows" j <> None then check_headline ~file j
+  else if Json.member "metrics" j <> None then check_metrics ~file j
   else check_figure ~file j
 
 let check_trace ~file j events =

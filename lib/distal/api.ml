@@ -123,10 +123,14 @@ let estimate ?cost ?profile plan =
 
 let random_inputs ?(seed = 42) plan =
   let rng = Rng.create seed in
-  let out_name = plan.problem.stmt.lhs.tensor in
+  let stmt = plan.problem.stmt in
+  let out_name = stmt.lhs.tensor in
+  (* The output needs input data when it is accumulated into, or when it is
+     read on the right-hand side (self-referencing statements). *)
+  let out_needs_data = stmt.accum || Expr.reads_output stmt in
   List.filter_map
     (fun t ->
-      if String.equal t.name out_name && not plan.problem.stmt.accum then None
+      if String.equal t.name out_name && not out_needs_data then None
       else Some (t.name, Dense.random rng t.shape))
     plan.problem.tensors
 

@@ -24,3 +24,46 @@ let tensor_footprint prov ~env ~stmt ~shape tensor =
   match rects with
   | [] -> invalid_arg (Printf.sprintf "tensor %s is not accessed by the statement" tensor)
   | r :: rest -> List.fold_left Rect.hull r rest
+
+type memo = {
+  prov : Provenance.t;
+  stmt : Expr.stmt;
+  deps : (string, Ident.t array) Hashtbl.t;  (* tensor -> live vars keying its rect *)
+  cache : (string, (int list, Rect.t) Hashtbl.t) Hashtbl.t;
+}
+
+let memo prov ~stmt =
+  let deps = Hashtbl.create 8 and cache = Hashtbl.create 8 in
+  List.iter
+    (fun tn ->
+      let vars =
+        List.concat_map
+          (fun (a : Expr.access) ->
+            if String.equal a.tensor tn then a.indices else [])
+          (Expr.stmt_accesses stmt)
+        |> List.sort_uniq compare
+      in
+      let dv =
+        List.concat_map (Provenance.deps prov) vars |> List.sort_uniq compare
+      in
+      Hashtbl.replace deps tn (Array.of_list dv);
+      Hashtbl.replace cache tn (Hashtbl.create 64))
+    (Expr.tensors stmt);
+  { prov; stmt; deps; cache }
+
+let footprint m ~env ~shape tensor =
+  match Hashtbl.find_opt m.deps tensor with
+  | None -> tensor_footprint m.prov ~env ~stmt:m.stmt ~shape tensor
+  | Some dv ->
+      let key =
+        Array.fold_right
+          (fun v acc -> (match env v with Some x -> x | None -> -1) :: acc)
+          dv []
+      in
+      let tbl = Hashtbl.find m.cache tensor in
+      (match Hashtbl.find_opt tbl key with
+      | Some r -> r
+      | None ->
+          let r = tensor_footprint m.prov ~env ~stmt:m.stmt ~shape tensor in
+          Hashtbl.add tbl key r;
+          r)

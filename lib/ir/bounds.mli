@@ -24,3 +24,29 @@ val tensor_footprint :
   Distal_tensor.Rect.t
 (** Hull of the footprints of every access of the named tensor in the
     statement. *)
+
+(** {2 Memoized footprints}
+
+    The runtime recomputes the same footprints for every iteration of its
+    sequential loops (and for every launch point, when a tensor's accesses
+    do not depend on the distributed variables). A memo keys each tensor's
+    footprint by the values of only the live variables its accesses can
+    depend on ({!Provenance.deps}), so identical rects are computed once
+    per execution rather than once per task step. *)
+
+type memo
+
+val memo : Provenance.t -> stmt:Expr.stmt -> memo
+(** A fresh memo for one execution of [stmt]. The environments later passed
+    to {!footprint} must bind live loop variables only (which is what the
+    runtime maintains), and the provenance graph must not change while the
+    memo is in use. *)
+
+val footprint :
+  memo ->
+  env:(Ident.t -> int option) ->
+  shape:int array ->
+  string ->
+  Distal_tensor.Rect.t
+(** Same result as {!tensor_footprint}, cached. [shape] must be the same on
+    every call for a given tensor. *)

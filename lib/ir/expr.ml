@@ -27,6 +27,9 @@ let free_vars s = s.lhs.indices
 let reduction_vars s =
   List.filter (fun v -> not (List.mem v s.lhs.indices)) (index_vars s)
 
+let reads_output s =
+  List.exists (fun a -> String.equal a.tensor s.lhs.tensor) (accesses s.rhs)
+
 let eval s ~lookup ~point =
   let coords a = Array.of_list (List.map point a.indices) in
   let rec go = function

@@ -36,6 +36,11 @@ val index_vars : stmt -> Ident.t list
 val reduction_vars : stmt -> Ident.t list
 (** Variables appearing in the rhs but not the lhs. *)
 
+val reads_output : stmt -> bool
+(** Whether the output tensor also appears on the right-hand side
+    (e.g. [A(i,j) = A(i,j) + B(i,j)]). Such statements read the caller's
+    value of the output even when they do not accumulate. *)
+
 val free_vars : stmt -> Ident.t list
 (** Variables of the lhs. *)
 

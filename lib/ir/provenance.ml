@@ -159,6 +159,28 @@ let guards_ok t ~env =
       | Some x -> 0 <= x && x < extent t v)
     t.defs true
 
+let deps t v =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec go v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.replace seen v ();
+      if is_live t v then acc := v :: !acc
+      else
+        match Hashtbl.find_opt t.cons v with
+        | None -> ()
+        | Some (Divided_into { outer; inner; _ }) ->
+            go outer;
+            go inner
+        | Some (Fused_into { fused; _ }) -> go fused
+        | Some (Rotated_into { result; by }) ->
+            go result;
+            List.iter go by
+    end
+  in
+  go v;
+  List.rev !acc
+
 let rec roots_of t v =
   match Hashtbl.find_opt t.defs v with
   | None -> []

@@ -58,6 +58,13 @@ val guards_ok : t -> env:(Ident.t -> int option) -> bool
     boundary guard of one iteration-space point. Requires an environment
     binding all live variables. *)
 
+val deps : t -> Ident.t -> Ident.t list
+(** The live variables whose environment binding can affect {!interval} or
+    {!raw_point} of [v] — its derivation chain followed through every
+    consumption, including rotate [by] shifts (which {!roots_of} ignores).
+    Sound only for environments that bind live variables, i.e. actual loop
+    variables, which is what the runtime's task walk maintains. *)
+
 val roots_of : t -> Ident.t -> Ident.t list
 (** Root variables a variable's value contributes to (rotate [by] variables
     only shift time, so they do not count as contributing). *)

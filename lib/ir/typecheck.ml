@@ -4,11 +4,6 @@ let check stmt ~shapes =
   let fail fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt in
   try
     let extents : (Ident.t, int) Hashtbl.t = Hashtbl.create 8 in
-    let rhs_tensors =
-      List.map (fun (a : Expr.access) -> a.tensor) (Expr.accesses stmt.Expr.rhs)
-    in
-    if List.mem stmt.lhs.tensor rhs_tensors then
-      fail "output tensor %s also appears on the right-hand side" stmt.lhs.tensor;
     List.iter
       (fun (a : Expr.access) ->
         let shape =

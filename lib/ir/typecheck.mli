@@ -4,8 +4,11 @@
     - every tensor is used with a single arity matching its declared shape;
     - each index variable has one consistent extent across all its uses;
     - no index variable appears twice in one access (diagonal accesses such
-      as [A(i,i)] are out of scope for DISTAL's dense lowering);
-    - the output tensor does not also appear on the right-hand side.
+      as [A(i,i)] are out of scope for DISTAL's dense lowering).
+
+    The output tensor may also appear on the right-hand side
+    (e.g. [A(i,j) = A(i,j) + B(i,j)]); such reads observe the output's
+    value from before the statement runs.
 
     On success, returns the extent of every index variable — the iteration
     space (§3.3) is their Cartesian product. *)

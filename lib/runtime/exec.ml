@@ -1,6 +1,7 @@
 module Ints = Distal_support.Ints
 module Dense = Distal_tensor.Dense
 module Rect = Distal_tensor.Rect
+module Rect_index = Distal_tensor.Rect_index
 module Kernels = Distal_tensor.Kernels
 module Machine = Distal_machine.Machine
 module Cost = Distal_machine.Cost_model
@@ -45,6 +46,9 @@ let trace_to_string e =
 let errf fmt = Printf.ksprintf (fun s -> Error s) fmt
 let ( let* ) = Result.bind
 
+(* Everything the simulator moves or stores is 8-byte floats. *)
+let bytes_of_rect r = 8.0 *. float_of_int (Rect.volume r)
+
 (* {2 Serial reference interpreter} *)
 
 let serial_reference stmt ~shapes ~data =
@@ -84,6 +88,21 @@ type group = {
   mutable receivers : (int * Cost.link) list;
 }
 
+(* Per-step accumulators, preallocated per physical processor. One record
+   per *active* step (a step some copy or compute touched), so the timing
+   assembly walks flat arrays instead of hashing (step, proc) pairs and
+   sorting the result. *)
+type step_acc = {
+  sgroups : (string, group) Hashtbl.t;  (* copy groups, keyed tensor:piece:src *)
+  cflops : float array;
+  cbytes : float array;
+  ctouch : bool array;
+  send : float array;
+  recv : float array;
+  mtouch : bool array;
+  mutable cross : float;  (* cross-rack bytes this step *)
+}
+
 (* Per-statement operation count per iteration-space point: one per binary
    operator plus the reduction accumulate. *)
 let ops_per_point (stmt : Expr.stmt) =
@@ -108,6 +127,7 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
   let m_bytes_inter = Metrics.counter reg "exec.bytes_inter" in
   let m_messages = Metrics.counter reg "exec.messages" in
   let m_tasks = Metrics.counter reg "exec.tasks" in
+  let m_copy_groups = Metrics.counter reg "exec.copy_groups" in
   let h_copy_bytes = Metrics.histogram reg "exec.copy_bytes" in
   let prog = spec.program in
   let stmt = prog.stmt in
@@ -115,6 +135,11 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
   let machine = spec.machine in
   let cost = spec.cost in
   let out_name = stmt.lhs.tensor in
+  (* A statement whose output tensor also appears on the right-hand side
+     (e.g. [A(i,j) = A(i,j) + B(i,j)]) reads the caller's value of the
+     output, exactly as [serial_reference] does: those reads come from a
+     separate, immutable instance, never from the buffer being written. *)
+  let reads_out = Expr.reads_output stmt in
   let tensors = Expr.tensors stmt in
   (* Distributions (and index task launches) may target a virtual grid
      larger than the machine; virtual processors fold onto physical ones
@@ -150,7 +175,7 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
       List.fold_left
         (fun acc tn ->
           let* () = acc in
-          if tn = out_name && not stmt.accum then Ok ()
+          if tn = out_name && (not stmt.accum) && not reads_out then Ok ()
           else if List.mem_assoc tn data then Ok ()
           else errf "no data given for tensor %s" tn)
         (Ok ()) tensors
@@ -168,6 +193,12 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
     | Some kernel ->
         let* order = Kernel_match.check stmt ~kernel in
         Ok (Some (kernel, order))
+  in
+  let* () =
+    match named_order with
+    | Some _ when reads_out ->
+        errf "substituted kernels cannot read their output tensor %s" out_name
+    | _ -> Ok ()
   in
   let lvars, ldims = Taskir.launch prog in
   let rec seq_loops = function
@@ -195,12 +226,18 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
     in
     Hashtbl.replace global out_name out0
   end;
+  (* Immutable source for RHS reads of the output tensor: the caller's
+     data, never the (zero-seeded or partially flushed) global store. *)
+  let out_input =
+    if mode = Full && reads_out then Some (List.assoc out_name data) else None
+  in
   let nprocs = Machine.num_procs machine in
-  let tiles_of : (string, (Rect.t * int array list) list) Hashtbl.t = Hashtbl.create 8 in
-  (* Per-tensor: the tiles each physical processor owns (several under
-     over-decomposition), and a memo of needed-rect -> (piece, owners)
-     coverings — the hot lookups of the simulation. Owner coordinates are
-     physical. *)
+  let tiles_of : (string, int array list Rect_index.t) Hashtbl.t = Hashtbl.create 8 in
+  (* Per-tensor: a spatial index over the distribution's tiles (cyclic
+     distributions produce many), the tiles each physical processor owns
+     (several under over-decomposition), and a memo of needed-rect ->
+     (piece, owners) coverings — the hot lookups of the simulation. Owner
+     coordinates are physical. *)
   let proc_rects_of : (string, Rect.t list array) Hashtbl.t = Hashtbl.create 8 in
   let pieces_memo : (string * string, (Rect.t * int array list) list) Hashtbl.t =
     Hashtbl.create 256
@@ -217,9 +254,10 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
         |> List.rev
       in
       Hashtbl.replace tiles_of tn
-        (List.map
-           (fun (r, owners) -> (r, dedup (List.map phys_of_virtual owners)))
-           vtiles);
+        (Rect_index.build
+           (List.map
+              (fun (r, owners) -> (r, dedup (List.map phys_of_virtual owners)))
+              vtiles));
       let rects = Array.make nprocs [] in
       List.iter
         (fun vc ->
@@ -235,16 +273,11 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
     match Hashtbl.find_opt pieces_memo key with
     | Some ps -> ps
     | None ->
-        let ps =
-          List.filter_map
-            (fun (tr, owners) ->
-              let piece = Rect.inter rect tr in
-              if Rect.is_empty piece then None else Some (piece, owners))
-            (Hashtbl.find tiles_of tn)
-        in
+        let ps = Rect_index.query (Hashtbl.find tiles_of tn) rect in
         Hashtbl.add pieces_memo key ps;
         ps
   in
+  let fmemo = Bounds.memo prov ~stmt in
   (* Reduction mode: some distributed loop variable derives from a
      variable summed over (§3.3: "distributing variables used for
      reductions results in distributed reductions into the output"). *)
@@ -254,16 +287,33 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
       (fun lv -> List.exists (fun r -> Provenance.derives_from prov lv ~root:r) red_roots)
       lvars
   in
-  (* Event log. *)
-  let groups : (int * string, group) Hashtbl.t = Hashtbl.create 256 in
-  let compute : (int * int, (float * float) ref) Hashtbl.t = Hashtbl.create 256 in
+  (* Event log: one preallocated accumulator per active step. *)
+  let steps_acc : step_acc option array = Array.make nsteps None in
+  let acc_of step =
+    match steps_acc.(step) with
+    | Some a -> a
+    | None ->
+        let a =
+          {
+            sgroups = Hashtbl.create 16;
+            cflops = Array.make nprocs 0.0;
+            cbytes = Array.make nprocs 0.0;
+            ctouch = Array.make nprocs false;
+            send = Array.make nprocs 0.0;
+            recv = Array.make nprocs 0.0;
+            mtouch = Array.make nprocs false;
+            cross = 0.0;
+          }
+        in
+        steps_acc.(step) <- Some a;
+        a
+  in
   let red_contribs : (string, float * int list) Hashtbl.t = Hashtbl.create 16 in
   let add_compute ~step ~proc ~flops ~bytes =
-    (match Hashtbl.find_opt compute (step, proc) with
-    | Some r ->
-        let f, b = !r in
-        r := (f +. flops, b +. bytes)
-    | None -> Hashtbl.add compute (step, proc) (ref (flops, bytes)));
+    let a = acc_of step in
+    a.cflops.(proc) <- a.cflops.(proc) +. flops;
+    a.cbytes.(proc) <- a.cbytes.(proc) +. bytes;
+    a.ctouch.(proc) <- true;
     Metrics.inc m_flops flops
   in
   let link_of a b = if Machine.same_node machine a b then Cost.Intra else Cost.Inter in
@@ -271,28 +321,24 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
      hierarchy of §3.1 footnote 1). *)
   let rack_of coord = Machine.node_of machine coord / cost.Cost.rack_nodes in
   let racks = Ints.ceil_div (Machine.num_nodes machine) cost.Cost.rack_nodes in
-  let cross : (int, float ref) Hashtbl.t = Hashtbl.create 64 in
-  let add_cross step bytes =
-    match Hashtbl.find_opt cross step with
-    | Some r -> r := !r +. bytes
-    | None -> Hashtbl.add cross step (ref bytes)
-  in
   let add_copy ~step ~tensor ~piece ~src_coord ~dst_coord =
-    let bytes = 8.0 *. float_of_int (Rect.volume piece) in
+    let bytes = bytes_of_rect piece in
     if bytes > 0.0 then begin
+      let a = acc_of step in
       let src = Machine.linearize machine src_coord in
       let dst = Machine.linearize machine dst_coord in
-      let key = (step, Printf.sprintf "%s:%s:%d" tensor (Rect.to_string piece) src) in
+      let key = Printf.sprintf "%s:%s:%d" tensor (Rect.to_string piece) src in
       let link = link_of src_coord dst_coord in
-      (match Hashtbl.find_opt groups key with
+      (match Hashtbl.find_opt a.sgroups key with
       | Some g -> g.receivers <- (dst, link) :: g.receivers
       | None ->
-          Hashtbl.add groups key
+          Metrics.inc_int m_copy_groups 1;
+          Hashtbl.add a.sgroups key
             { tensor; piece; src; src_coord; bytes; receivers = [ (dst, link) ] });
       (match link with
       | Cost.Intra -> Metrics.inc m_bytes_intra bytes
       | Cost.Inter -> Metrics.inc m_bytes_inter bytes);
-      if rack_of src_coord <> rack_of dst_coord then add_cross step bytes;
+      if rack_of src_coord <> rack_of dst_coord then a.cross <- a.cross +. bytes;
       (match trace with
       | Some log ->
           log :=
@@ -309,10 +355,7 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
       let rects = Hashtbl.find proc_rects_of tn in
       Array.iteri
         (fun p rs ->
-          List.iter
-            (fun r ->
-              static_mem.(p) <- static_mem.(p) +. (8.0 *. float_of_int (Rect.volume r)))
-            rs)
+          List.iter (fun r -> static_mem.(p) <- static_mem.(p) +. bytes_of_rect r) rs)
         rects)
     tensors;
   let dyn_peak = Array.make nprocs 0.0 in
@@ -336,6 +379,9 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
     (* Cached instances record whether they count against dynamic memory
        (instances of locally-owned tiles alias the owned data). *)
     let cache : (string, Rect.t * Dense.t option * bool) Hashtbl.t = Hashtbl.create 8 in
+    (* Read-only instance of the output tensor for self-referencing
+       statements, kept apart from the write instance in [cache]. *)
+    let out_read : (Rect.t * Dense.t option * bool) option ref = ref None in
     let dyn = ref 0.0 and dyn_max = ref 0.0 in
     let grow bytes =
       dyn := !dyn +. bytes;
@@ -366,7 +412,7 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
     in
     let flush_output rect buf =
       let step = step_of () in
-      let bytes = 8.0 *. float_of_int (Rect.volume rect) in
+      let bytes = bytes_of_rect rect in
       if reduction then begin
         (match Hashtbl.find_opt red_contribs (Rect.to_string rect) with
         | Some (b, procs) ->
@@ -394,19 +440,19 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
     in
     let ensure tn =
       let shape = Taskir.shape_of prog tn in
-      let rect = Bounds.tensor_footprint prov ~env ~stmt ~shape tn in
+      let rect = Bounds.footprint fmemo ~env ~shape tn in
       let fresh =
         match Hashtbl.find_opt cache tn with
         | Some (r, _, _) when Rect.equal r rect -> false
         | Some (r, old, counted) ->
             if tn = out_name then flush_output r old;
-            if counted then shrink (8.0 *. float_of_int (Rect.volume r));
+            if counted then shrink (bytes_of_rect r);
             Hashtbl.remove cache tn;
             true
         | None -> true
       in
       if fresh then begin
-        let bytes = 8.0 *. float_of_int (Rect.volume rect) in
+        let bytes = bytes_of_rect rect in
         (* An instance of a locally-owned subrect aliases the owned tile;
            reduction partials for the output are fresh allocations. *)
         let counted =
@@ -416,9 +462,9 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
         if tn = out_name then begin
           (* Reduction partials start at zero; stationary/owner-computes
              outputs are seeded with current values (which only costs
-             communication when the statement accumulates into a tensor
-             this processor does not own). *)
-          if (not reduction) && stmt.accum then charge_fetch tn rect
+             communication when the statement accumulates into — or reads —
+             a tensor this processor does not own). *)
+          if ((not reduction) && stmt.accum) || reads_out then charge_fetch tn rect
         end
         else charge_fetch tn rect;
         let buf =
@@ -426,16 +472,34 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
           else if tn = out_name && reduction then Some (Dense.create (Rect.extents rect))
           else Some (Dense.extract (Hashtbl.find global tn) rect)
         in
-        Hashtbl.replace cache tn (rect, buf, counted)
+        Hashtbl.replace cache tn (rect, buf, counted);
+        if tn = out_name && reads_out then begin
+          (match !out_read with
+          | Some (r0, _, counted0) ->
+              if counted0 then shrink (bytes_of_rect r0);
+              out_read := None
+          | None -> ());
+          let counted_r = not (proc_owns tn rect) in
+          if counted_r then grow bytes;
+          let rbuf =
+            match out_input with
+            | Some src when mode = Full -> Some (Dense.extract src rect)
+            | _ -> None
+          in
+          out_read := Some (rect, rbuf, counted_r)
+        end
       end
     in
     let leaf_bytes () =
-      List.fold_left
-        (fun acc tn ->
-          match Hashtbl.find_opt cache tn with
-          | Some (r, _, _) -> acc +. (8.0 *. float_of_int (Rect.volume r))
-          | None -> acc)
-        0.0 tensors
+      let base =
+        List.fold_left
+          (fun acc tn ->
+            match Hashtbl.find_opt cache tn with
+            | Some (r, _, _) -> acc +. bytes_of_rect r
+            | None -> acc)
+          0.0 tensors
+      in
+      match !out_read with Some (r, _, _) -> base +. bytes_of_rect r | None -> base
     in
     let leaf_points () =
       List.fold_left
@@ -467,7 +531,7 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
             let sliced tn =
               let r, buf = buffer tn in
               let shape = Taskir.shape_of prog tn in
-              let need = Bounds.tensor_footprint prov ~env ~stmt ~shape tn in
+              let need = Bounds.footprint fmemo ~env ~shape tn in
               if Rect.equal need r then (buf, None)
               else begin
                 assert (Rect.subset need r);
@@ -500,7 +564,18 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
             let extents = Array.of_list (List.map (Provenance.extent prov) vars) in
             let vars_arr = Array.of_list vars in
             let lookup (a : Expr.access) coord =
-              let r, b = buffer a.tensor in
+              (* RHS reads of the output come from the read-only instance:
+                 the write buffer is being mutated by this very loop nest
+                 (and, for [=] statements, started from zero). *)
+              let r, b =
+                if reads_out && String.equal a.tensor out_name then
+                  match !out_read with
+                  | Some (r, Some b, _) -> (r, b)
+                  | _ ->
+                      invalid_arg
+                        ("leaf executed without a read instance of " ^ out_name)
+                else buffer a.tensor
+              in
               let local = Array.mapi (fun d c -> c - (r : Rect.t).lo.(d)) coord in
               Dense.get b local
             in
@@ -551,134 +626,114 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
   in
   List.iter run_task points;
   (* {3 Timing assembly} *)
-  (* Deterministic order throughout this phase: groups sorted by (step,
-     key), steps ascending, processors ascending — so two runs of the same
-     spec (and [Full] vs [Model] of the same spec) produce identical event
-     streams and bit-identical times. *)
-  let group_list =
-    Hashtbl.fold (fun k g acc -> (k, g) :: acc) groups []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
-  in
-  (* A processor's communication time in a step combines its send and
-     receive occupancies per the cost model's duplex mode (full-duplex
-     NICs overlap them; framebuffer DMA serializes them). *)
-  let comm : (int * int, (float * float) ref) Hashtbl.t = Hashtbl.create 256 in
-  let add_comm step proc ~send ~recv =
-    match Hashtbl.find_opt comm (step, proc) with
-    | Some r ->
-        let s, v = !r in
-        r := (s +. send, v +. recv)
-    | None -> Hashtbl.add comm (step, proc) (ref (send, recv))
-  in
-  (* Per-step traffic totals, for the step breakdown. *)
-  let step_traffic : (int, (float * int) ref) Hashtbl.t = Hashtbl.create 64 in
-  List.iter
-    (fun ((step, _), g) ->
-      let k = List.length g.receivers in
-      (let bytes, msgs =
-         match Hashtbl.find_opt step_traffic step with Some r -> !r | None -> (0.0, 0)
-       in
-       let v = (bytes +. (g.bytes *. float_of_int k), msgs + k) in
-       match Hashtbl.find_opt step_traffic step with
-       | Some r -> r := v
-       | None -> Hashtbl.add step_traffic step (ref v));
-      if k = 1 then begin
-        let dst, link = List.hd g.receivers in
-        let t = Cost.copy_time cost link ~bytes:g.bytes in
-        add_comm step dst ~send:0.0 ~recv:t;
-        add_comm step g.src ~send:t ~recv:0.0
-      end
-      else begin
-        let worst =
-          if List.exists (fun (_, l) -> l = Cost.Inter) g.receivers then Cost.Inter
-          else Cost.Intra
-        in
-        List.iter
-          (fun (dst, link) ->
-            add_comm step dst
-              ~send:(Cost.broadcast_participant_send cost link ~bytes:g.bytes ~receivers:k)
-              ~recv:(Cost.broadcast_time cost link ~bytes:g.bytes ~receivers:k))
-          g.receivers;
-        add_comm step g.src
-          ~send:(Cost.broadcast_time cost worst ~bytes:g.bytes ~receivers:k)
-          ~recv:0.0
-      end)
-    group_list;
-  let comm_of step proc =
-    match Hashtbl.find_opt comm (step, proc) with
-    | Some r ->
-        let s, v = !r in
-        Cost.combine_sr cost ~send:s ~recv:v
-    | None -> 0.0
-  in
-  (* Active steps: union of every step with compute, communication or
-     cross-rack traffic, with the processors active in each. *)
-  let step_procs : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
-  let note_proc (step, proc) =
-    match Hashtbl.find_opt step_procs step with
-    | Some l -> if not (List.mem proc !l) then l := proc :: !l
-    | None -> Hashtbl.add step_procs step (ref [ proc ])
-  in
-  Hashtbl.iter (fun k _ -> note_proc k) compute;
-  Hashtbl.iter (fun k _ -> note_proc k) comm;
-  Hashtbl.iter
-    (fun step _ ->
-      if not (Hashtbl.mem step_procs step) then Hashtbl.add step_procs step (ref []))
-    cross;
-  let active_steps =
-    Hashtbl.fold (fun s _ acc -> s :: acc) step_procs [] |> List.sort compare
-  in
-  (* One timeline step per active step: per-processor occupancies, the
-     charged cost (max over processors of overlapped compute+comm, or the
-     rack fabric), and the traffic that moved. *)
+  (* Deterministic order throughout this phase: steps ascending, copy
+     groups sorted by key within each step, processors ascending — so two
+     runs of the same spec (and [Full] vs [Model] of the same spec) produce
+     identical event streams and bit-identical times. Everything is read
+     off the flat per-step accumulators; no (step, proc) hashing. *)
   let h_step_time = Metrics.histogram reg "exec.step_time" in
   let start = ref 0.0 in
   let tasks_per_proc = Ints.ceil_div (List.length points) nprocs in
   let overhead = float_of_int tasks_per_proc *. cost.Cost.task_overhead in
   start := overhead;
-  let step_rows =
-    List.map
-      (fun step ->
-        let procs = List.sort compare !(Hashtbl.find step_procs step) in
-        let slots =
-          List.map
-            (fun proc ->
-              let cmp =
-                match Hashtbl.find_opt compute (step, proc) with
-                | Some r ->
-                    let flops, bytes = !r in
-                    Cost.compute_time cost ~flops ~bytes_touched:bytes
-                | None -> 0.0
+  (* Per-step sorted copy groups, kept for profile emission below. *)
+  let sorted_groups : (int, group list) Hashtbl.t = Hashtbl.create 64 in
+  let rev_rows = ref [] in
+  for step = 0 to nsteps - 1 do
+    match steps_acc.(step) with
+    | None -> ()
+    | Some a ->
+        let glist =
+          Hashtbl.fold (fun k g acc -> (k, g) :: acc) a.sgroups []
+          |> List.sort (fun (x, _) (y, _) -> compare x y)
+          |> List.map snd
+        in
+        Hashtbl.replace sorted_groups step glist;
+        (* A processor's communication time in a step combines its send and
+           receive occupancies per the cost model's duplex mode (full-duplex
+           NICs overlap them; framebuffer DMA serializes them). *)
+        let bytes = ref 0.0 and messages = ref 0 in
+        List.iter
+          (fun g ->
+            let k = List.length g.receivers in
+            bytes := !bytes +. (g.bytes *. float_of_int k);
+            messages := !messages + k;
+            if k = 1 then begin
+              let dst, link = List.hd g.receivers in
+              let t = Cost.copy_time cost link ~bytes:g.bytes in
+              a.recv.(dst) <- a.recv.(dst) +. t;
+              a.mtouch.(dst) <- true;
+              a.send.(g.src) <- a.send.(g.src) +. t;
+              a.mtouch.(g.src) <- true
+            end
+            else begin
+              let worst =
+                if List.exists (fun (_, l) -> l = Cost.Inter) g.receivers then
+                  Cost.Inter
+                else Cost.Intra
               in
-              let cm = comm_of step proc in
+              List.iter
+                (fun (dst, link) ->
+                  a.send.(dst) <-
+                    a.send.(dst)
+                    +. Cost.broadcast_participant_send cost link ~bytes:g.bytes
+                         ~receivers:k;
+                  a.recv.(dst) <-
+                    a.recv.(dst)
+                    +. Cost.broadcast_time cost link ~bytes:g.bytes ~receivers:k;
+                  a.mtouch.(dst) <- true)
+                g.receivers;
+              a.send.(g.src) <-
+                a.send.(g.src)
+                +. Cost.broadcast_time cost worst ~bytes:g.bytes ~receivers:k;
+              a.mtouch.(g.src) <- true
+            end)
+          glist;
+        (* One timeline step per active step: per-processor occupancies,
+           the charged cost (max over processors of overlapped
+           compute+comm, or the rack fabric), and the traffic that
+           moved. *)
+        let slots = ref [] in
+        for proc = nprocs - 1 downto 0 do
+          if a.ctouch.(proc) || a.mtouch.(proc) then begin
+            let cmp =
+              if a.ctouch.(proc) then
+                Cost.compute_time cost ~flops:a.cflops.(proc)
+                  ~bytes_touched:a.cbytes.(proc)
+              else 0.0
+            in
+            let cm =
+              if a.mtouch.(proc) then
+                Cost.combine_sr cost ~send:a.send.(proc) ~recv:a.recv.(proc)
+              else 0.0
+            in
+            slots :=
               {
                 Cp.proc;
                 compute = cmp;
                 comm = cm;
                 busy = Cost.step_time cost ~compute:cmp ~comm:cm;
-              })
-            procs
-        in
+              }
+              :: !slots
+          end
+        done;
+        let slots = !slots in
         let fabric =
-          match Hashtbl.find_opt cross step with
-          | Some b -> Cost.fabric_time cost ~cross_rack_bytes:!b ~racks
-          | None -> 0.0
+          if a.cross > 0.0 then Cost.fabric_time cost ~cross_rack_bytes:a.cross ~racks
+          else 0.0
         in
         let cost_step =
           List.fold_left (fun acc (sl : Cp.slot) -> Float.max acc sl.Cp.busy) fabric slots
         in
-        let bytes, messages =
-          match Hashtbl.find_opt step_traffic step with Some r -> !r | None -> (0.0, 0)
-        in
         Metrics.observe h_step_time cost_step;
         let row =
-          { Cp.index = step; start = !start; cost = cost_step; slots; bytes; messages;
-            fabric }
+          { Cp.index = step; start = !start; cost = cost_step; slots; bytes = !bytes;
+            messages = !messages; fabric }
         in
         start := !start +. cost_step;
-        row)
-      active_steps
-  in
+        rev_rows := row :: !rev_rows
+  done;
+  let step_rows = List.rev !rev_rows in
   let time =
     List.fold_left (fun acc (r : Cp.step) -> acc +. r.Cp.cost) 0.0 step_rows
   in
@@ -739,15 +794,8 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
           ~ts:0.0 ~dur:overhead
           ~attrs:[ ("tasks_per_proc", Event.Int tasks_per_proc) ]
           ();
-      let copy_groups_of =
-        let tbl : (int, group list ref) Hashtbl.t = Hashtbl.create 64 in
-        List.iter
-          (fun ((step, _), g) ->
-            match Hashtbl.find_opt tbl step with
-            | Some l -> l := g :: !l
-            | None -> Hashtbl.add tbl step (ref [ g ]))
-          (List.rev group_list);
-        fun step -> match Hashtbl.find_opt tbl step with Some l -> !l | None -> []
+      let copy_groups_of step =
+        match Hashtbl.find_opt sorted_groups step with Some l -> l | None -> []
       in
       List.iter
         (fun (row : Cp.step) ->
@@ -769,14 +817,13 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
                 Span.complete sink ~name:"compute" ~cat:"compute" ~pid ~tid:sl.Cp.proc
                   ~ts:row.Cp.start ~dur:sl.Cp.compute
                   ~attrs:
-                    (match Hashtbl.find_opt compute (row.Cp.index, sl.Cp.proc) with
-                    | Some r ->
-                        let flops, bytes = !r in
+                    (match steps_acc.(row.Cp.index) with
+                    | Some a when a.ctouch.(sl.Cp.proc) ->
                         [
-                          ("flops", Event.Float flops);
-                          ("bytes_touched", Event.Float bytes);
+                          ("flops", Event.Float a.cflops.(sl.Cp.proc));
+                          ("bytes_touched", Event.Float a.cbytes.(sl.Cp.proc));
                         ]
-                    | None -> [])
+                    | _ -> [])
                   ();
               let exposed = sl.Cp.busy -. sl.Cp.compute in
               if exposed > 0.0 then
@@ -837,17 +884,16 @@ let redistribute ?profile machine cost ~shape ~src ~dst =
   let m_bytes_intra = Metrics.counter reg "exec.bytes_intra" in
   let m_bytes_inter = Metrics.counter reg "exec.bytes_inter" in
   let m_messages = Metrics.counter reg "exec.messages" in
+  let m_copy_groups = Metrics.counter reg "exec.copy_groups" in
   let h_copy_bytes = Metrics.histogram reg "exec.copy_bytes" in
   let src_tiles = Distnot.tiles src ~shape ~machine in
   let dst_tiles = Distnot.tiles dst ~shape ~machine in
-  let recv = Hashtbl.create 64 and send = Hashtbl.create 64 in
-  let bump tbl p t =
-    match Hashtbl.find_opt tbl p with
-    | Some r -> r := !r +. t
-    | None -> Hashtbl.add tbl p (ref t)
-  in
-  (* (piece, src proc, dst proc, bytes, link), in issue order. *)
-  let transfers = ref [] in
+  let nprocs = Machine.num_procs machine in
+  (* Same-piece, same-source transfers to several receivers are broadcasts,
+     bundled and priced exactly as [execute] prices its copy groups (a
+     replicated destination must not pay k independent point-to-point
+     copies). *)
+  let groups : (string, group) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun (dr, downers) ->
       List.iter
@@ -859,23 +905,34 @@ let redistribute ?profile machine cost ~shape ~src ~dst =
                 (not (Rect.is_empty piece))
                 && not (List.exists (fun o -> Ints.equal o dcoord) sowners)
               then begin
-                let srcp =
+                let src_coord =
                   match
                     List.find_opt (fun o -> Machine.same_node machine o dcoord) sowners
                   with
                   | Some o -> o
                   | None -> List.hd sowners
                 in
-                let bytes = 8.0 *. float_of_int (Rect.volume piece) in
+                let bytes = bytes_of_rect piece in
                 let link =
-                  if Machine.same_node machine srcp dcoord then Cost.Intra else Cost.Inter
+                  if Machine.same_node machine src_coord dcoord then Cost.Intra
+                  else Cost.Inter
                 in
-                let t = Cost.copy_time cost link ~bytes in
-                let sp = Machine.linearize machine srcp in
+                let sp = Machine.linearize machine src_coord in
                 let dp = Machine.linearize machine dcoord in
-                bump recv dp t;
-                bump send sp t;
-                transfers := (piece, sp, dp, bytes, link) :: !transfers;
+                let key = Printf.sprintf "%s:%d" (Rect.to_string piece) sp in
+                (match Hashtbl.find_opt groups key with
+                | Some g -> g.receivers <- (dp, link) :: g.receivers
+                | None ->
+                    Metrics.inc_int m_copy_groups 1;
+                    Hashtbl.add groups key
+                      {
+                        tensor = "";
+                        piece;
+                        src = sp;
+                        src_coord;
+                        bytes;
+                        receivers = [ (dp, link) ];
+                      });
                 Metrics.observe h_copy_bytes bytes;
                 Metrics.inc_int m_messages 1;
                 match link with
@@ -885,15 +942,49 @@ let redistribute ?profile machine cost ~shape ~src ~dst =
             src_tiles)
         downers)
     dst_tiles;
-  let maxt tbl = Hashtbl.fold (fun _ r acc -> max acc !r) tbl 0.0 in
-  let time = max (maxt recv) (maxt send) in
+  let glist =
+    Hashtbl.fold (fun k g acc -> (k, g) :: acc) groups []
+    |> List.sort (fun (x, _) (y, _) -> compare x y)
+    |> List.map snd
+  in
+  let send = Array.make nprocs 0.0 and recv = Array.make nprocs 0.0 in
+  List.iter
+    (fun g ->
+      let k = List.length g.receivers in
+      if k = 1 then begin
+        let dst, link = List.hd g.receivers in
+        let t = Cost.copy_time cost link ~bytes:g.bytes in
+        recv.(dst) <- recv.(dst) +. t;
+        send.(g.src) <- send.(g.src) +. t
+      end
+      else begin
+        let worst =
+          if List.exists (fun (_, l) -> l = Cost.Inter) g.receivers then Cost.Inter
+          else Cost.Intra
+        in
+        List.iter
+          (fun (dst, link) ->
+            send.(dst) <-
+              send.(dst)
+              +. Cost.broadcast_participant_send cost link ~bytes:g.bytes ~receivers:k;
+            recv.(dst) <-
+              recv.(dst) +. Cost.broadcast_time cost link ~bytes:g.bytes ~receivers:k)
+          g.receivers;
+        send.(g.src) <-
+          send.(g.src) +. Cost.broadcast_time cost worst ~bytes:g.bytes ~receivers:k
+      end)
+    glist;
+  let time = ref 0.0 in
+  for p = 0 to nprocs - 1 do
+    time := Float.max !time (Float.max send.(p) recv.(p))
+  done;
+  let time = !time in
   Metrics.set (Metrics.gauge reg "exec.time") time;
   Metrics.set (Metrics.gauge reg "exec.steps") 1.0;
   (match (profile, prun) with
   | Some p, Some run ->
       let sink = Profile.sink p in
       let pid = run.Profile.pid in
-      let nprocs = Machine.num_procs machine in
       for proc = 0 to nprocs - 1 do
         Span.thread_name sink ~pid ~tid:proc
           (Printf.sprintf "proc %d %s" proc
@@ -901,19 +992,14 @@ let redistribute ?profile machine cost ~shape ~src ~dst =
       done;
       (* One exchange step: each processor is busy for the larger of its
          send and receive occupancy. *)
-      let occ tbl p = match Hashtbl.find_opt tbl p with Some r -> !r | None -> 0.0 in
-      let procs =
-        List.sort_uniq compare
-          (Hashtbl.fold (fun p _ acc -> p :: acc) recv []
-          @ Hashtbl.fold (fun p _ acc -> p :: acc) send [])
-      in
-      let slots =
-        List.map
-          (fun p ->
-            let busy = Float.max (occ recv p) (occ send p) in
-            { Cp.proc = p; compute = 0.0; comm = busy; busy })
-          procs
-      in
+      let slots = ref [] in
+      for p = nprocs - 1 downto 0 do
+        if send.(p) > 0.0 || recv.(p) > 0.0 then begin
+          let busy = Float.max send.(p) recv.(p) in
+          slots := { Cp.proc = p; compute = 0.0; comm = busy; busy } :: !slots
+        end
+      done;
+      let slots = !slots in
       List.iter
         (fun (sl : Cp.slot) ->
           if sl.Cp.busy > 0.0 then
@@ -922,22 +1008,29 @@ let redistribute ?profile machine cost ~shape ~src ~dst =
         slots;
       let total_bytes = ref 0.0 and msgs = ref 0 in
       List.iter
-        (fun (piece, sp, dp, bytes, link) ->
-          total_bytes := !total_bytes +. bytes;
-          incr msgs;
-          Span.instant sink ~name:"redistribute copy" ~cat:"copy" ~pid ~tid:dp ~ts:0.0
-            ~attrs:
-              [
-                ("piece", Event.Str (Rect.to_string piece));
-                ("src", Event.Int sp);
-                ("dst", Event.Int dp);
-                ("bytes", Event.Float bytes);
-                ( "link",
-                  Event.Str
-                    (match link with Cost.Intra -> "intra" | Cost.Inter -> "inter") );
-              ]
-            ())
-        (List.rev !transfers);
+        (fun g ->
+          let k = List.length g.receivers in
+          List.iter
+            (fun (dp, link) ->
+              total_bytes := !total_bytes +. g.bytes;
+              incr msgs;
+              Span.instant sink ~name:"redistribute copy" ~cat:"copy" ~pid ~tid:dp
+                ~ts:0.0
+                ~attrs:
+                  [
+                    ("piece", Event.Str (Rect.to_string g.piece));
+                    ("src", Event.Int g.src);
+                    ("dst", Event.Int dp);
+                    ("bytes", Event.Float g.bytes);
+                    ( "link",
+                      Event.Str
+                        (match link with Cost.Intra -> "intra" | Cost.Inter -> "inter")
+                    );
+                    ("receivers", Event.Int k);
+                  ]
+                ())
+            (List.rev g.receivers))
+        glist;
       run.Profile.timeline <-
         Some
           {

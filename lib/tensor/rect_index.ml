@@ -1,0 +1,124 @@
+type 'a t = {
+  entries : (Rect.t * 'a) array;
+  dims : int;
+  cuts : int array array;  (* per dim: sorted distinct tile boundaries *)
+  buckets : int array array array;  (* per dim: slab -> tile ids, ascending *)
+  prefix : int array array;  (* per dim: prefix sums of bucket sizes *)
+  last_seen : int array;  (* per-query visited stamps, one per tile *)
+  mutable stamp : int;
+}
+
+(* Index of the first element >= x in a sorted array. *)
+let lower_bound a x =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Index of the first element > x in a sorted array. *)
+let upper_bound a x =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let build tile_list =
+  let entries = Array.of_list tile_list in
+  let n = Array.length entries in
+  let dims = if n = 0 then 0 else Rect.dim (fst entries.(0)) in
+  let cuts =
+    Array.init dims (fun d ->
+        let bounds = ref [] in
+        Array.iter
+          (fun ((r : Rect.t), _) -> bounds := r.lo.(d) :: r.hi.(d) :: !bounds)
+          entries;
+        Array.of_list (List.sort_uniq compare !bounds))
+  in
+  let buckets =
+    Array.init dims (fun d ->
+        let nslabs = max 0 (Array.length cuts.(d) - 1) in
+        let acc = Array.make nslabs [] in
+        (* Reverse id order so each bucket list ends up ascending. *)
+        for id = n - 1 downto 0 do
+          let r : Rect.t = fst entries.(id) in
+          if not (Rect.is_empty r) then begin
+            let a = lower_bound cuts.(d) r.lo.(d) in
+            let b = lower_bound cuts.(d) r.hi.(d) in
+            for s = a to b - 1 do
+              acc.(s) <- id :: acc.(s)
+            done
+          end
+        done;
+        Array.map Array.of_list acc)
+  in
+  let prefix =
+    Array.map
+      (fun bs ->
+        let p = Array.make (Array.length bs + 1) 0 in
+        Array.iteri (fun i b -> p.(i + 1) <- p.(i) + Array.length b) bs;
+        p)
+      buckets
+  in
+  { entries; dims; cuts; buckets; prefix; last_seen = Array.make n (-1); stamp = 0 }
+
+let length t = Array.length t.entries
+let tiles t = Array.to_list t.entries
+
+(* Slab range [a, b) of a query interval [lo, hi) along dimension [d];
+   [None] when the interval clears the indexed tiles entirely. *)
+let slab_range t d lo hi =
+  let cuts = t.cuts.(d) in
+  let nslabs = Array.length cuts - 1 in
+  if hi <= lo || nslabs <= 0 then None
+  else
+    let b = min nslabs (lower_bound cuts hi) in
+    let a = max 0 (upper_bound cuts lo - 1) in
+    if a >= b then None else Some (a, b)
+
+let query t (rect : Rect.t) =
+  let n = Array.length t.entries in
+  if n = 0 || Rect.is_empty rect then []
+  else if t.dims = 0 then
+    (* Scalars: every tile intersects. *)
+    Array.to_list (Array.map (fun (r, v) -> (Rect.inter rect r, v)) t.entries)
+  else begin
+    (* Per-dimension candidate slab ranges; pick the most selective
+       dimension by total bucket population. *)
+    let best = ref None in
+    (try
+       for d = 0 to t.dims - 1 do
+         match slab_range t d rect.lo.(d) rect.hi.(d) with
+         | None ->
+             best := None;
+             raise Exit
+         | Some (a, b) ->
+             let pop = t.prefix.(d).(b) - t.prefix.(d).(a) in
+             (match !best with
+             | Some (_, _, _, p) when p <= pop -> ()
+             | _ -> best := Some (d, a, b, pop))
+       done
+     with Exit -> ());
+    match !best with
+    | None -> []
+    | Some (d, a, b, _) ->
+        t.stamp <- t.stamp + 1;
+        let ids = ref [] in
+        for s = a to b - 1 do
+          Array.iter
+            (fun id ->
+              if t.last_seen.(id) <> t.stamp then begin
+                t.last_seen.(id) <- t.stamp;
+                ids := id :: !ids
+              end)
+            t.buckets.(d).(s)
+        done;
+        List.sort compare !ids
+        |> List.filter_map (fun id ->
+               let r, v = t.entries.(id) in
+               let piece = Rect.inter rect r in
+               if Rect.is_empty piece then None else Some (piece, v))
+  end

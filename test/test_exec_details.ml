@@ -121,6 +121,93 @@ let test_instance_cache_avoids_recommunication () =
   Alcotest.(check (float 0.0)) "C fetched once" (4.0 *. 4.0 *. 8.0)
     (s.Stats.bytes_inter +. s.Stats.bytes_intra)
 
+(* A [=] statement whose output appears on the RHS reads the caller's
+   value of the output, not the zero-seeded buffer it is writing. *)
+let self_ref_plan machine =
+  let p =
+    Api.problem_exn ~machine ~stmt:"A(i,j) = A(i,j) + B(i,j)"
+      ~tensors:
+        [
+          Api.tensor "A" [| 4; 4 |] ~dist:"[x,y] -> [x]";
+          Api.tensor "B" [| 4; 4 |] ~dist:"[x,y] -> [x]";
+        ]
+      ()
+  in
+  Api.compile_script_exn p ~schedule:"distribute(i); communicate({A,B}, i)"
+
+let test_self_reference_reads_input () =
+  let plan = self_ref_plan (Machine.grid [| 2 |]) in
+  (* Exact values: A = 1 everywhere, B = 2 everywhere, result must be 3. *)
+  let ones = Distal_tensor.Dense.init [| 4; 4 |] (fun _ -> 1.0) in
+  let twos = Distal_tensor.Dense.init [| 4; 4 |] (fun _ -> 2.0) in
+  let r = Api.run_exn plan ~data:[ ("A", ones); ("B", twos) ] in
+  (match r.Exec.output with
+  | None -> Alcotest.fail "no output"
+  | Some out ->
+      Alcotest.(check (float 0.0)) "A + B with caller's A" 3.0
+        (Distal_tensor.Dense.get out [| 1; 2 |]));
+  (* And against the serial reference on random data (random_inputs must
+     supply A even though the statement does not accumulate). *)
+  match Api.validate plan with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_self_reference_remote_owner () =
+  (* The output is owned elsewhere: the read instance travels, and the
+     simulated result still matches the reference. *)
+  let machine = Machine.grid [| 3 |] in
+  let p =
+    Api.problem_exn ~machine ~stmt:"a(i) = a(i) * b(i) + a(i)"
+      ~tensors:
+        [
+          Api.tensor "a" [| 6 |] ~dist:"[x] -> [0]";
+          Api.tensor "b" [| 6 |] ~dist:"[x] -> [x]";
+        ]
+      ()
+  in
+  let plan =
+    Api.compile_script_exn p ~schedule:"distribute(i); communicate({a,b}, i)"
+  in
+  (match Api.validate plan with Ok () -> () | Error e -> Alcotest.fail e);
+  let s = Api.estimate plan in
+  Alcotest.(check bool) "self-ref reads are charged" true
+    (s.Stats.bytes_inter +. s.Stats.bytes_intra > 0.0)
+
+let test_redistribute_broadcast () =
+  (* One source, a replicated destination: the exchange is priced as a
+     single broadcast, not three independent point-to-point copies. *)
+  let machine = Machine.grid [| 4 |] in
+  let cost = Api.Cost_model.cpu_distal in
+  let s =
+    Api.redistribute ~machine ~cost ~shape:[| 8 |]
+      ~src:(Api.Distnot.parse_exn "[x] -> [0]")
+      ~dst:(Api.Distnot.parse_exn "[x] -> [*]")
+      ()
+  in
+  let bytes = 8.0 *. 8.0 in
+  let bcast =
+    Api.Cost_model.broadcast_time cost Api.Cost_model.Inter ~bytes ~receivers:3
+  in
+  Alcotest.(check int) "three receivers" 3 s.Stats.messages;
+  Alcotest.(check (float 1e-12)) "priced as one broadcast" bcast s.Stats.time;
+  let p2p = Api.Cost_model.copy_time cost Api.Cost_model.Inter ~bytes in
+  Alcotest.(check bool) "cheaper than serialized p2p" true
+    (s.Stats.time < (3.0 *. p2p) -. 1e-15)
+
+let test_full_vs_model_event_streams () =
+  (* The Full and Model executions of one spec must emit byte-identical
+     copy-event streams and identical aggregate stats. *)
+  let plan = self_ref_plan (Machine.grid [| 2 |]) in
+  let data = Api.random_inputs plan in
+  let run mode =
+    let log = ref [] in
+    let r = Api.run_exn ~mode ~trace:log plan ~data:(if mode = Exec.Full then data else []) in
+    (List.map Exec.trace_to_string !log, r.Exec.stats)
+  in
+  let full_events, full_stats = run Exec.Full in
+  let model_events, model_stats = run Exec.Model in
+  Alcotest.(check (list string)) "identical event streams" full_events model_events;
+  Alcotest.(check string) "identical stats" (Stats.to_string full_stats)
+    (Stats.to_string model_stats)
+
 let test_trace_disabled_by_default () =
   let plan = running_example "distribute(i); communicate({a,b}, i)" in
   let r = Api.run_exn plan ~data:(Api.random_inputs plan) in
@@ -136,5 +223,12 @@ let suites =
         Alcotest.test_case "accumulate + reduction" `Quick test_accumulate_into_reduction;
         Alcotest.test_case "instance cache" `Quick test_instance_cache_avoids_recommunication;
         Alcotest.test_case "no trace by default" `Quick test_trace_disabled_by_default;
+        Alcotest.test_case "self-reference reads input" `Quick
+          test_self_reference_reads_input;
+        Alcotest.test_case "self-reference remote owner" `Quick
+          test_self_reference_remote_owner;
+        Alcotest.test_case "redistribute broadcast" `Quick test_redistribute_broadcast;
+        Alcotest.test_case "full vs model event streams" `Quick
+          test_full_vs_model_event_streams;
       ] );
   ]

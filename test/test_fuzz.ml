@@ -42,10 +42,14 @@ let gen_stmt rng =
   let access (t, vs) =
     if vs = [] then t else Printf.sprintf "%s(%s)" t (String.concat "," vs)
   in
+  let out_access = access ("Out", lhs_vars) in
+  (* Sometimes make the statement self-referencing: the output also read on
+     the right-hand side, as in [A(i,j) = A(i,j) + B(i,j)]. *)
+  let self_ref = Rng.int rng 4 = 0 in
   let stmt =
-    Printf.sprintf "Out%s = %s"
-      (if lhs_vars = [] then "" else "(" ^ String.concat "," lhs_vars ^ ")")
+    Printf.sprintf "%s = %s%s" out_access
       (String.concat op (List.map access rhs_tensors))
+      (if self_ref then " + " ^ out_access else "")
   in
   let shapes =
     ("Out", Array.of_list (List.map extent lhs_vars))
@@ -122,6 +126,27 @@ let gen_schedule rng ~lhs_vars ~rhs_vars =
 
 let current_loop_vars plan = Distal_ir.Cin.loop_vars plan.Api.cin
 
+module Stats = Api.Stats
+module Exec = Api.Exec
+
+(* The Model execution must predict exactly the stats of the Full
+   execution — the simulator's event assembly is deterministic and
+   data-independent. *)
+let check_model_parity ~stmt plan =
+  let data = Api.random_inputs plan in
+  match Api.run ~mode:Exec.Full plan ~data with
+  | Error e -> QCheck.Test.fail_reportf "full run failed for %s: %s" stmt e
+  | Ok full -> (
+      match Api.run ~mode:Exec.Model plan ~data:[] with
+      | Error e -> QCheck.Test.fail_reportf "model run failed for %s: %s" stmt e
+      | Ok model ->
+          let f = Stats.to_string full.Exec.stats in
+          let m = Stats.to_string model.Exec.stats in
+          if String.equal f m then true
+          else
+            QCheck.Test.fail_reportf "Full/Model stats diverge for %s:\n%s\nvs\n%s"
+              stmt f m)
+
 let fuzz_once seed =
   let rng = Rng.create seed in
   let stmt, shapes, lhs_vars, rhs_vars = gen_stmt rng in
@@ -161,7 +186,7 @@ let fuzz_once seed =
               QCheck.Test.fail_reportf "re-compile failed for %s: %s" stmt e
           | Ok plan -> (
               match Api.validate ~seed plan with
-              | Ok () -> true
+              | Ok () -> check_model_parity ~stmt plan
               | Error e ->
                   QCheck.Test.fail_reportf "MISMATCH for %s scheduled [%s]: %s" stmt
                     (String.concat "; "
@@ -217,7 +242,7 @@ let fuzz_hierarchical seed =
       | Error e -> QCheck.Test.fail_reportf "compile failed for %s: %s" stmt e
       | Ok plan -> (
           match Api.validate ~seed plan with
-          | Ok () -> true
+          | Ok () -> check_model_parity ~stmt plan
           | Error e ->
               QCheck.Test.fail_reportf "MISMATCH (hierarchical) for %s: %s" stmt e))
 
@@ -226,11 +251,38 @@ let qcheck_fuzz_hierarchical =
     QCheck.small_nat
     (fun seed -> fuzz_hierarchical (succ seed))
 
+(* A 3-way virtual grid folded onto 2 physical processors: virtual owners
+   0 and 2 collide on physical processor 0. A self-referencing statement
+   must still match the reference, and Full/Model stats must agree, after
+   the fold. *)
+let test_virtual_grid_collision () =
+  let machine = Machine.grid [| 2 |] in
+  let p =
+    Api.problem_exn ~machine ~virtual_grid:[| 3 |] ~stmt:"A(i) = A(i) + B(i)"
+      ~tensors:
+        [
+          Api.tensor "A" [| 6 |] ~dist:"[x] -> [x]";
+          Api.tensor "B" [| 6 |] ~dist:"[x] -> [x]";
+        ]
+      ()
+  in
+  let plan =
+    Api.compile_script_exn p
+      ~schedule:"divide(i, io, ii, 3); distribute(io); communicate({A,B}, io)"
+  in
+  (match Api.validate plan with Ok () -> () | Error e -> Alcotest.fail e);
+  let full = Api.run_exn plan ~data:(Api.random_inputs plan) in
+  let model = Api.run_exn ~mode:Exec.Model plan ~data:[] in
+  Alcotest.(check string) "full/model stats"
+    (Stats.to_string full.Exec.stats)
+    (Stats.to_string model.Exec.stats)
+
 let suites =
   [
     ( "fuzz",
       [
         QCheck_alcotest.to_alcotest ~long:true qcheck_fuzz;
         QCheck_alcotest.to_alcotest ~long:true qcheck_fuzz_hierarchical;
+        Alcotest.test_case "virtual grid collision" `Quick test_virtual_grid_collision;
       ] );
   ]

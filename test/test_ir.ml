@@ -78,10 +78,16 @@ let test_typecheck_errors () =
   (* wrong arity *)
   expect_tc_error "A(i,i) = B(i,i)" [ ("A", [| 4; 4 |]); ("B", [| 4; 4 |]) ];
   (* diagonal access *)
-  expect_tc_error "A(i) = A(i) * B(i)" [ ("A", [| 4 |]); ("B", [| 4 |]) ];
-  (* output on rhs *)
-  expect_tc_error "A(i) = B(i)" [ ("A", [| 4 |]) ]
-(* missing shape *)
+  expect_tc_error "A(i) = B(i)" [ ("A", [| 4 |]) ];
+  (* missing shape *)
+  (* self-reference is legal: the output may be read on the rhs *)
+  match
+    Typecheck.check
+      (P.parse_exn "A(i) = A(i) * B(i)")
+      ~shapes:[ ("A", [| 4 |]); ("B", [| 4 |]) ]
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "self-reference must typecheck: %s" e
 
 (* {2 Provenance} *)
 
