@@ -212,9 +212,9 @@ let simperf_cyclic_ttv ~i ~jk ~procs ~vprocs =
          vprocs)
 
 (* One profiled run for the event counts, then [reps] timed runs. *)
-let simperf_measure plan ~reps =
+let simperf_measure ?(coalesce = true) plan ~reps =
   let profile = Profile.create () in
-  (match Api.run ~mode:Api.Exec.Model ~profile plan ~data:[] with
+  (match Api.run ~mode:Api.Exec.Model ~coalesce ~profile plan ~data:[] with
   | Ok _ -> ()
   | Error e -> failwith ("simperf run failed: " ^ e));
   let metric name run =
@@ -223,56 +223,78 @@ let simperf_measure plan ~reps =
   let run = List.hd (Profile.runs profile) in
   let tasks = metric "exec.tasks" run in
   let groups = metric "exec.copy_groups" run in
+  let ratio = metric "exec.coalesce_ratio" run in
   let t0 = Sys.time () in
   for _ = 1 to reps do
-    match Api.run ~mode:Api.Exec.Model plan ~data:[] with
+    match Api.run ~mode:Api.Exec.Model ~coalesce plan ~data:[] with
     | Ok _ -> ()
     | Error e -> failwith ("simperf run failed: " ^ e)
   done;
   let wall = (Sys.time () -. t0) /. float_of_int reps in
-  (tasks, groups, wall)
+  (tasks, groups, ratio, wall)
 
 let simperf_run ~small () =
   Printf.printf "== simperf: simulator throughput (real wall clock%s) ==\n"
     (if small then ", small config" else "");
   let module H = Distal_algorithms.Higher_order in
+  (* The last component marks workloads whose fragment counts make
+     communication planning matter: those are also run with [~coalesce:false]
+     for a before/after comparison of the planner itself. *)
   let specs =
     if small then
       [
-        ("cyclic-gemm", simperf_gemm ~n:64 ~grid:4 ~chunks:8, 1);
-        ("cyclic-ttv", simperf_cyclic_ttv ~i:512 ~jk:32 ~procs:4 ~vprocs:128, 1);
+        ("cyclic-gemm", simperf_gemm ~n:64 ~grid:4 ~chunks:8, 1, true);
+        ("cyclic-ttv", simperf_cyclic_ttv ~i:512 ~jk:32 ~procs:4 ~vprocs:128, 1, true);
         ( "ttv",
           (Result.get_ok
              (H.ttv ~i:256 ~j:64 ~k:64
                 ~machine:(Machine.grid ~kind:Machine.Cpu ~mem_per_proc:256e9 [| 4 |])))
             .H.plan,
-          1 );
+          1,
+          false );
       ]
     else
       [
-        ("cyclic-gemm", simperf_gemm ~n:256 ~grid:4 ~chunks:64, 1);
-        ("cyclic-ttv", simperf_cyclic_ttv ~i:8192 ~jk:512 ~procs:16 ~vprocs:2048, 3);
+        ("cyclic-gemm", simperf_gemm ~n:256 ~grid:4 ~chunks:64, 1, true);
+        ("cyclic-ttv", simperf_cyclic_ttv ~i:8192 ~jk:512 ~procs:16 ~vprocs:2048, 3, true);
         ( "ttv",
           (Result.get_ok
              (H.ttv ~i:8192 ~j:512 ~k:512
                 ~machine:(Machine.grid ~kind:Machine.Cpu ~mem_per_proc:256e9 [| 16 |])))
             .H.plan,
-          3 );
+          3,
+          false );
       ]
   in
   let table =
     Distal_support.Table.create
-      ~header:[ "workload"; "wall/run"; "tasks/s"; "copy groups/s" ]
+      ~header:
+        [ "workload"; "wall/run"; "uncoalesced"; "speedup"; "frag/msg"; "tasks/s";
+          "copy groups/s" ]
   in
   let metrics = ref [] in
   List.iter
-    (fun (name, plan, reps) ->
-      let tasks, groups, wall = simperf_measure plan ~reps in
+    (fun (name, plan, reps, compare) ->
+      let tasks, groups, ratio, wall = simperf_measure plan ~reps in
       let per v = if wall > 0.0 then v /. wall else 0.0 in
+      let raw_wall =
+        if compare then
+          let _, _, _, w = simperf_measure ~coalesce:false plan ~reps in
+          Some w
+        else None
+      in
+      let speedup =
+        match raw_wall with Some w when wall > 0.0 -> Some (w /. wall) | _ -> None
+      in
       Distal_support.Table.add_row table
         [
           name;
           Printf.sprintf "%.3f ms" (wall *. 1e3);
+          (match raw_wall with
+          | Some w -> Printf.sprintf "%.3f ms" (w *. 1e3)
+          | None -> "-");
+          (match speedup with Some s -> Printf.sprintf "%.1fx" s | None -> "-");
+          Printf.sprintf "%.1f" ratio;
           Printf.sprintf "%.0f" (per tasks);
           Printf.sprintf "%.0f" (per groups);
         ];
@@ -282,7 +304,15 @@ let simperf_run ~small () =
             (name ^ ".wall_s", wall, "s");
             (name ^ ".tasks_per_s", per tasks, "tasks/s");
             (name ^ ".copy_groups_per_s", per groups, "groups/s");
-          ])
+            (name ^ ".coalesce_ratio", ratio, "fragments/msg");
+          ]
+        @ (match raw_wall with
+          | Some w -> [ (name ^ ".nocoalesce_wall_s", w, "s") ]
+          | None -> [])
+        @
+        match speedup with
+        | Some s -> [ (name ^ ".coalesce_speedup", s, "x") ]
+        | None -> [])
     specs;
   Distal_support.Table.print table;
   let json =

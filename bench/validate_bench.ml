@@ -6,7 +6,14 @@
      (Figure.to_json, Headline.to_json, the simperf section);
    - Chrome trace_event files (Chrome_trace).
 
-   Exits nonzero with a diagnostic on the first violation. *)
+   Exits nonzero with a diagnostic on the first violation.
+
+   With [--baseline FILE] (plus optional [--tolerance X], default 2.0),
+   every [*.wall_s] metric in the baseline document is also compared
+   against the same metric in the validated files: the run fails with a
+   per-metric diff if any wall-clock metric exceeds baseline * tolerance —
+   the regression guard for the simulator's own performance. Metrics other
+   than [*.wall_s] are informational and never gate. *)
 
 module Json = Distal_obs.Json
 
@@ -64,15 +71,21 @@ let check_figure ~file j =
     series;
   Printf.printf "%s: ok (figure, %d series)\n" file (List.length series)
 
+(* Metric values of every validated metrics document, for the optional
+   baseline comparison. *)
+let seen_metrics : (string * float) list ref = ref []
+
 let check_metrics ~file j =
   let metrics = expect_list ~file ~what:"metrics" (Json.member "metrics" j) in
   if metrics = [] then fail "%s: no metrics" file;
   List.iter
     (fun m ->
-      ignore (expect_string ~file ~what:"metric name" (Json.member "name" m));
+      let name = expect_string ~file ~what:"metric name" (Json.member "name" m) in
       ignore (expect_string ~file ~what:"metric unit" (Json.member "unit" m));
       match Json.member "value" m with
-      | Some (Json.Float _ | Json.Int _ | Json.Null) -> ()
+      | Some (Json.Float v) -> seen_metrics := (name, v) :: !seen_metrics
+      | Some (Json.Int v) -> seen_metrics := (name, float_of_int v) :: !seen_metrics
+      | Some Json.Null -> ()
       | _ -> fail "%s: metric value must be a number or null" file)
     metrics;
   Printf.printf "%s: ok (metrics, %d entries)\n" file (List.length metrics)
@@ -109,9 +122,71 @@ let check file =
       | Some _ -> fail "%s: traceEvents must be an array" file
       | None -> check_bench ~file j)
 
+(* Compare every [*.wall_s] metric the baseline records against the
+   freshly validated files; fail with a readable diff when any regresses
+   beyond the tolerance factor. A wall metric present in the baseline but
+   absent from the fresh output also fails — renaming a benchmark must
+   update the baseline. *)
+let check_baseline ~baseline ~tolerance =
+  let j =
+    match Json.parse (read_file baseline) with
+    | Error e -> fail "%s: invalid JSON: %s" baseline e
+    | Ok j -> j
+  in
+  let metrics = expect_list ~file:baseline ~what:"metrics" (Json.member "metrics" j) in
+  let is_wall name =
+    String.length name > 7 && String.sub name (String.length name - 7) 7 = ".wall_s"
+  in
+  let compared = ref 0 and diffs = ref [] in
+  List.iter
+    (fun m ->
+      let name = expect_string ~file:baseline ~what:"metric name" (Json.member "name" m) in
+      let base =
+        match Json.member "value" m with
+        | Some (Json.Float v) -> Some v
+        | Some (Json.Int v) -> Some (float_of_int v)
+        | _ -> None
+      in
+      match base with
+      | Some base when is_wall name -> (
+          incr compared;
+          match List.assoc_opt name !seen_metrics with
+          | None ->
+              diffs := Printf.sprintf "  %-28s missing from fresh output" name :: !diffs
+          | Some v ->
+              if v > base *. tolerance then
+                diffs :=
+                  Printf.sprintf "  %-28s %8.3f ms -> %8.3f ms  (%.1fx, limit %.1fx)"
+                    name (base *. 1e3) (v *. 1e3) (v /. base) tolerance
+                  :: !diffs)
+      | _ -> ())
+    metrics;
+  if !diffs <> [] then begin
+    Printf.eprintf "validate_bench: wall-clock regression vs %s (tolerance %.1fx):\n%s\n"
+      baseline tolerance
+      (String.concat "\n" (List.rev !diffs));
+    exit 1
+  end;
+  Printf.printf "%s: ok (baseline, %d wall metrics within %.1fx)\n" baseline !compared
+    tolerance
+
 let () =
+  let rec parse baseline tolerance files = function
+    | [] -> (baseline, tolerance, List.rev files)
+    | "--baseline" :: file :: rest -> parse (Some file) tolerance files rest
+    | "--tolerance" :: x :: rest -> (
+        match float_of_string_opt x with
+        | Some t when t > 0.0 -> parse baseline t files rest
+        | _ -> fail "--tolerance wants a positive number, got %S" x)
+    | f :: rest -> parse baseline tolerance (f :: files) rest
+  in
   match Array.to_list Sys.argv with
-  | _ :: (_ :: _ as files) -> List.iter check files
+  | _ :: (_ :: _ as args) ->
+      let baseline, tolerance, files = parse None 2.0 [] args in
+      if files = [] then fail "no files to validate";
+      List.iter check files;
+      Option.iter (fun b -> check_baseline ~baseline:b ~tolerance) baseline
   | _ ->
-      prerr_endline "usage: validate_bench FILE.json ...";
+      prerr_endline
+        "usage: validate_bench [--baseline FILE] [--tolerance X] FILE.json ...";
       exit 1

@@ -91,6 +91,7 @@ val default_cost : Machine.t -> Cost_model.t
 
 val run :
   ?mode:Exec.mode ->
+  ?coalesce:bool ->
   ?cost:Cost_model.t ->
   ?trace:Exec.trace_event list ref ->
   ?profile:Obs.Profile.t ->
@@ -98,12 +99,14 @@ val run :
   data:(string * Dense.t) list ->
   (Exec.result, string) result
 (** With [profile], the execution registers as a run of the profile and
-    emits spans, copy events, metrics and a step timeline (see
+    emits spans, copy events, metrics and a step timeline; [coalesce]
+    (default [true]) controls the communication-planning pass (see
     {!Exec.execute}). *)
 
 val run_exn :
-  ?mode:Exec.mode -> ?cost:Cost_model.t -> ?trace:Exec.trace_event list ref ->
-  ?profile:Obs.Profile.t -> plan -> data:(string * Dense.t) list -> Exec.result
+  ?mode:Exec.mode -> ?coalesce:bool -> ?cost:Cost_model.t ->
+  ?trace:Exec.trace_event list ref -> ?profile:Obs.Profile.t -> plan ->
+  data:(string * Dense.t) list -> Exec.result
 
 val estimate : ?cost:Cost_model.t -> ?profile:Obs.Profile.t -> plan -> Stats.t
 (** Performance-model-only execution ({!Exec.Model} mode). *)

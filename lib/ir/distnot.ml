@@ -265,25 +265,26 @@ let rect_of_proc t ~shape ~machine proc =
   match rects_of_proc t ~shape ~machine proc with [ r ] -> Some r | _ -> None
 
 let tiles t ~shape ~machine =
-  let table : (string, Rect.t * int array list) Hashtbl.t = Hashtbl.create 64 in
+  (* Tiles are keyed structurally on their bounds — this loop runs once per
+     (processor, tile) pair and cyclic distributions produce tens of
+     thousands of tiles, so no string keys on the hot path. *)
+  let table : (int array * int array, int array list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
   let order = ref [] in
   List.iter
     (fun proc ->
       List.iter
-        (fun r ->
-          let key = Rect.to_string r in
-          match Hashtbl.find_opt table key with
+        (fun (r : Rect.t) ->
+          match Hashtbl.find_opt table (r.lo, r.hi) with
           | None ->
-              Hashtbl.add table key (r, [ proc ]);
-              order := key :: !order
-          | Some (r0, owners) -> Hashtbl.replace table key (r0, proc :: owners))
+              let owners = ref [ proc ] in
+              Hashtbl.add table (r.lo, r.hi) owners;
+              order := (r, owners) :: !order
+          | Some owners -> owners := proc :: !owners)
         (rects_of_proc t ~shape ~machine proc))
     (Machine.proc_coords machine);
-  List.rev_map
-    (fun key ->
-      let r, owners = Hashtbl.find table key in
-      (r, List.rev owners))
-    !order
+  List.rev_map (fun (r, owners) -> (r, List.rev !owners)) !order
 
 let replication_factor t ~machine =
   let mdims = (machine : Machine.t).dims in

@@ -15,6 +15,7 @@ type t = {
   rack_nodes : int;
   rack_uplink : float;
   duplex : duplex;
+  pack_overhead : float;
 }
 
 let combine_sr t ~send ~recv =
@@ -26,6 +27,16 @@ let fabric_time t ~cross_rack_bytes ~racks =
 let alpha t = function Intra -> t.alpha_intra | Inter -> t.alpha_inter
 let beta t = function Intra -> t.beta_intra | Inter -> t.beta_inter
 let copy_time t link ~bytes = alpha t link +. (bytes /. beta t link)
+
+(* A coalesced strided run travels as one message: one alpha, the summed
+   bandwidth term, plus a small per-fragment cost for packing the strips
+   into (and out of) a contiguous wire buffer. A single-fragment transfer
+   pays nothing extra, so blocked layouts are priced exactly as before. *)
+let pack_time t ~fragments =
+  if fragments <= 1 then 0.0 else float_of_int (fragments - 1) *. t.pack_overhead
+
+let strided_copy_time t link ~bytes ~fragments =
+  copy_time t link ~bytes +. pack_time t ~fragments
 
 let collective_factor k =
   if k <= 1 then 0.0 else ceil (log (float_of_int k) /. log 2.0)
@@ -91,6 +102,8 @@ let cpu_base =
     rack_nodes = 16;
     rack_uplink = 16.0 *. 23e9 /. 2.0;
     duplex = Full;
+    (* memcpy of a cache-line-sized strip plus loop overhead. *)
+    pack_overhead = 100e-9;
   }
 
 let cpu_distal = { cpu_base with name = "cpu-distal" }
@@ -147,6 +160,9 @@ let gpu_distal =
        contend for the same PCIe/NIC path. *)
     rack_uplink = 16.0 *. 18e9 /. 2.0;
     duplex = Half;
+    (* Strided gathers out of framebuffer memory go through the DMA
+       engines; per-strip setup is costlier than a CPU memcpy loop. *)
+    pack_overhead = 200e-9;
   }
 
 let gpu_cosma =

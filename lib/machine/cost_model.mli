@@ -36,6 +36,9 @@ type t = {
   rack_uplink : float;  (** bytes/second of a rack's tapered uplink; traffic
       between racks shares it *)
   duplex : duplex;
+  pack_overhead : float;
+      (** seconds per extra fragment when a coalesced strided transfer is
+          packed into one wire message (see {!strided_copy_time}) *)
 }
 
 val combine_sr : t -> send:float -> recv:float -> float
@@ -48,6 +51,15 @@ val fabric_time : t -> cross_rack_bytes:float -> racks:int -> float
 
 val copy_time : t -> link -> bytes:float -> float
 (** Point-to-point: alpha + bytes / beta. *)
+
+val pack_time : t -> fragments:int -> float
+(** Packing cost of gathering [fragments] strips into one wire buffer:
+    [(fragments - 1) * pack_overhead]; zero for a contiguous transfer. *)
+
+val strided_copy_time : t -> link -> bytes:float -> fragments:int -> float
+(** A coalesced strided run priced as a single message — one latency term,
+    the summed bandwidth term, plus {!pack_time}. With [fragments = 1] this
+    is exactly {!copy_time}. *)
 
 val collective_factor : int -> float
 (** [collective_factor k] is the binomial-tree depth for [k] participants,

@@ -73,6 +73,40 @@ let critical_path_summary (cp : Cp.t) =
       ^ "\n");
   Buffer.contents buf
 
+let by_tensor_prefix = "exec.bytes_by_tensor."
+
+let traffic_by_tensor reg =
+  let rows =
+    List.filter_map
+      (fun name ->
+        if String.length name > String.length by_tensor_prefix
+           && String.sub name 0 (String.length by_tensor_prefix) = by_tensor_prefix
+        then
+          let tensor =
+            String.sub name (String.length by_tensor_prefix)
+              (String.length name - String.length by_tensor_prefix)
+          in
+          match Metrics.value reg name with
+          | Some b when b > 0.0 -> Some (tensor, b)
+          | _ -> None
+        else None)
+      (Metrics.names reg)
+  in
+  if rows = [] then ""
+  else begin
+    let total = List.fold_left (fun acc (_, b) -> acc +. b) 0.0 rows in
+    let table = Table.create ~header:[ "tensor"; "moved"; "share" ] in
+    List.iter
+      (fun (tensor, b) ->
+        Table.add_row table
+          [
+            tensor; bytes_human b;
+            Printf.sprintf "%.0f%%" (if total > 0.0 then 100.0 *. b /. total else 0.0);
+          ])
+      (List.sort (fun (ta, a) (tb, b) -> if a = b then compare ta tb else compare b a) rows);
+    "traffic by tensor:\n" ^ Table.to_string table
+  end
+
 let run_report (run : Profile.run) =
   let buf = Buffer.create 512 in
   Buffer.add_string buf (Printf.sprintf "== profile: %s ==\n" run.Profile.name);
@@ -81,6 +115,7 @@ let run_report (run : Profile.run) =
       Buffer.add_string buf (step_table tl);
       Buffer.add_string buf (critical_path_summary (Cp.analyse tl))
   | None -> Buffer.add_string buf "(no timeline recorded)\n");
+  Buffer.add_string buf (traffic_by_tensor run.Profile.metrics);
   Buffer.add_string buf (Metrics.render run.Profile.metrics);
   Buffer.add_char buf '\n';
   Buffer.contents buf

@@ -15,9 +15,14 @@ val critical_path_summary : Critical_path.t -> string
 (** Total/compute/comm/overhead/reduction split, the dominating resource,
     and the three laziest processors (most slack). *)
 
+val traffic_by_tensor : Metrics.registry -> string
+(** Per-tensor traffic breakdown read off the [exec.bytes_by_tensor.*]
+    counters, largest mover first with its share of all traffic; empty
+    when the run moved nothing. *)
+
 val run_report : Profile.run -> string
-(** [step_table] + [critical_path_summary] + metric snapshot for one
-    run. *)
+(** [step_table] + [critical_path_summary] + [traffic_by_tensor] + metric
+    snapshot for one run. *)
 
 val timeline_to_json : Critical_path.timeline -> Json.t
 val run_to_json : Profile.run -> Json.t

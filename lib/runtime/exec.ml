@@ -77,23 +77,36 @@ let serial_reference stmt ~shapes ~data =
 
 (* {2 The distributed executor} *)
 
-(* One communication bundle: same payload, same source, same step. Several
-   receivers make it a broadcast. *)
+(* One communication bundle after planning: same payload (one rect, or
+   several disjoint rects for a strided run), same source, same step.
+   Several receivers make it a broadcast. *)
 type group = {
   tensor : string;
-  piece : Rect.t;
+  rects : Rect.t list;
+  fragments : int;
   src : int;
-  src_coord : int array;
   bytes : float;
   mutable receivers : (int * Cost.link) list;
+}
+
+(* One owner-group of a memoized fetch plan: the pieces of a footprint a
+   given owner set holds, pre-merged into block/strided form. Owners are
+   physical linear indices, deduped, in discovery order. *)
+type fetch_group = {
+  fg_owners : int list;
+  fg_pieces : Rect.t list;
+  fg_merged : Rect.t list;
+  fg_nfrag : int;
+  fg_volume : int;
 }
 
 (* Per-step accumulators, preallocated per physical processor. One record
    per *active* step (a step some copy or compute touched), so the timing
    assembly walks flat arrays instead of hashing (step, proc) pairs and
-   sorting the result. *)
+   sorting the result. Copies are accumulated raw (one record per piece)
+   and planned into groups at assembly time by [Comm_plan]. *)
 type step_acc = {
-  sgroups : (string, group) Hashtbl.t;  (* copy groups, keyed tensor:piece:src *)
+  mutable raws : Comm_plan.raw list;
   cflops : float array;
   cbytes : float array;
   ctouch : bool array;
@@ -102,6 +115,134 @@ type step_acc = {
   mtouch : bool array;
   mutable cross : float;  (* cross-rack bytes this step *)
 }
+
+(* Bundle planned transfers that carry the same payload from the same
+   source into broadcast groups. [Comm_plan] sorts transfers by (tensor,
+   src, payload, dst), so grouping is one linear scan and each group's
+   receiver list comes out in ascending destination order. Payloads are
+   usually shared sublists (the executor memoizes fetch plans), so the
+   physical-equality check in [compare_rects] makes the scan cheap. *)
+let group_transfers (xfers : Comm_plan.xfer list) =
+  let rev =
+    List.fold_left
+      (fun acc (x : Comm_plan.xfer) ->
+        match acc with
+        | g :: _
+          when g.src = x.Comm_plan.src
+               && String.equal g.tensor x.Comm_plan.tensor
+               && Comm_plan.compare_rects g.rects x.Comm_plan.rects = 0 ->
+            g.receivers <- (x.Comm_plan.dst, x.Comm_plan.link) :: g.receivers;
+            acc
+        | _ ->
+            {
+              tensor = x.Comm_plan.tensor;
+              rects = x.Comm_plan.rects;
+              fragments = x.Comm_plan.fragments;
+              src = x.Comm_plan.src;
+              bytes = 8.0 *. float_of_int x.Comm_plan.volume;
+              receivers = [ (x.Comm_plan.dst, x.Comm_plan.link) ];
+            }
+            :: acc)
+      [] xfers
+  in
+  List.rev_map
+    (fun g ->
+      g.receivers <- List.rev g.receivers;
+      g)
+    rev
+
+(* Post-planning observability: group counts, merged-run counts and
+   per-message payload sizes are recorded after coalescing, so
+   [exec.messages] counts wire messages, not raw fragments (raw traffic
+   totals stay in [exec.bytes_intra]/[exec.bytes_inter], which planning
+   never changes). *)
+let observe_groups ~m_messages ~m_copy_groups ~m_coalesced ~h_copy_bytes glist =
+  List.iter
+    (fun g ->
+      Metrics.inc_int m_copy_groups 1;
+      if g.fragments > 1 then Metrics.inc_int m_coalesced 1;
+      let k = List.length g.receivers in
+      Metrics.inc_int m_messages k;
+      for _ = 1 to k do
+        Metrics.observe h_copy_bytes g.bytes
+      done)
+    glist
+
+(* Charge one step's copy groups into the per-processor send/recv occupancy
+   arrays; returns (payload bytes moved, messages). A processor's two
+   occupancies are later combined per the cost model's duplex mode.
+   Broadcasts use the large-message collective model; a strided run
+   additionally pays the packing cost on its endpoints. *)
+let price_groups cost ~send ~recv ~mtouch glist =
+  let bytes = ref 0.0 and messages = ref 0 in
+  List.iter
+    (fun g ->
+      let k = List.length g.receivers in
+      bytes := !bytes +. (g.bytes *. float_of_int k);
+      messages := !messages + k;
+      let pack = Cost.pack_time cost ~fragments:g.fragments in
+      if k = 1 then begin
+        let dst, link = List.hd g.receivers in
+        let t =
+          Cost.strided_copy_time cost link ~bytes:g.bytes ~fragments:g.fragments
+        in
+        recv.(dst) <- recv.(dst) +. t;
+        mtouch.(dst) <- true;
+        send.(g.src) <- send.(g.src) +. t;
+        mtouch.(g.src) <- true
+      end
+      else begin
+        let worst =
+          if List.exists (fun (_, l) -> l = Cost.Inter) g.receivers then Cost.Inter
+          else Cost.Intra
+        in
+        List.iter
+          (fun (dst, link) ->
+            send.(dst) <-
+              send.(dst)
+              +. Cost.broadcast_participant_send cost link ~bytes:g.bytes
+                   ~receivers:k;
+            recv.(dst) <-
+              recv.(dst)
+              +. Cost.broadcast_time cost link ~bytes:g.bytes ~receivers:k
+              +. pack;
+            mtouch.(dst) <- true)
+          g.receivers;
+        send.(g.src) <-
+          send.(g.src)
+          +. Cost.broadcast_time cost worst ~bytes:g.bytes ~receivers:k
+          +. pack;
+        mtouch.(g.src) <- true
+      end)
+    glist;
+  (!bytes, !messages)
+
+(* One profile instant per wire message, on the receiver's track. *)
+let emit_copy_instants sink ~pid ~ts ?name glist =
+  List.iter
+    (fun g ->
+      let k = List.length g.receivers in
+      let ev_name = match name with Some n -> n | None -> g.tensor in
+      List.iter
+        (fun (dst, link) ->
+          Span.instant sink ~name:ev_name ~cat:"copy" ~pid ~tid:dst ~ts
+            ~attrs:
+              [
+                ("tensor", Event.Str g.tensor);
+                ("piece", Event.Str (Comm_plan.describe g.rects));
+                ("fragments", Event.Int g.fragments);
+                ("src", Event.Int g.src);
+                ("dst", Event.Int dst);
+                ("bytes", Event.Float g.bytes);
+                ( "link",
+                  Event.Str
+                    (match link with Cost.Intra -> "intra" | Cost.Inter -> "inter")
+                );
+                ("receivers", Event.Int k);
+              ]
+            ())
+        g.receivers)
+    glist
 
 (* Per-statement operation count per iteration-space point: one per binary
    operator plus the reduction accumulate. *)
@@ -113,7 +254,7 @@ let ops_per_point (stmt : Expr.stmt) =
   let c = count stmt.rhs + if Expr.reduction_vars stmt <> [] then 1 else 0 in
   max 1 c
 
-let execute ?(mode = Full) ?trace ?profile spec ~data =
+let execute ?(mode = Full) ?(coalesce = true) ?trace ?profile spec ~data =
   (* Register this execution as a run of the profile (its own pid, metrics
      registry and timeline slot). Without a profile the registry is private
      to this call; either way it is the single accumulator the final
@@ -128,6 +269,7 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
   let m_messages = Metrics.counter reg "exec.messages" in
   let m_tasks = Metrics.counter reg "exec.tasks" in
   let m_copy_groups = Metrics.counter reg "exec.copy_groups" in
+  let m_coalesced = Metrics.counter reg "exec.coalesced_groups" in
   let h_copy_bytes = Metrics.histogram reg "exec.copy_bytes" in
   let prog = spec.program in
   let stmt = prog.stmt in
@@ -141,6 +283,13 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
      separate, immutable instance, never from the buffer being written. *)
   let reads_out = Expr.reads_output stmt in
   let tensors = Expr.tensors stmt in
+  (* Per-operand traffic breakdown for the utilization report. Counters are
+     registered up front so zero-traffic operands still show up. *)
+  let m_bytes_by_tensor =
+    List.map
+      (fun tn -> (tn, Metrics.counter reg ("exec.bytes_by_tensor." ^ tn)))
+      (List.sort_uniq compare tensors)
+  in
   (* Distributions (and index task launches) may target a virtual grid
      larger than the machine; virtual processors fold onto physical ones
      exactly as the mapper folds launch points. *)
@@ -152,10 +301,6 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
           ~mem_per_proc:(Machine.mem_per_proc_bytes machine) dims
   in
   let nprocs_phys = Machine.num_procs machine in
-  let phys_of_virtual vc =
-    if spec.virtual_grid = None then vc
-    else Machine.delinearize machine (Machine.linearize vmachine vc mod nprocs_phys)
-  in
   (* Validate distributions. *)
   let* dists =
     List.fold_left
@@ -232,40 +377,74 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
     if mode = Full && reads_out then Some (List.assoc out_name data) else None
   in
   let nprocs = Machine.num_procs machine in
-  let tiles_of : (string, int array list Rect_index.t) Hashtbl.t = Hashtbl.create 8 in
+  (* Per-linear-processor node and rack ids: link and rack decisions in the
+     walk are plain array lookups instead of coordinate arithmetic. *)
+  let node_of_lin =
+    Array.init nprocs (fun p -> Machine.node_of machine (Machine.delinearize machine p))
+  in
+  let rack_of_lin = Array.map (fun n -> n / cost.Cost.rack_nodes) node_of_lin in
+  (* Folding a virtual owner to a physical linear index needs no coordinate
+     round-trip: delinearize and linearize on the same machine cancel. *)
+  let lin_of_virtual =
+    if spec.virtual_grid = None then Machine.linearize machine
+    else fun vc -> Machine.linearize vmachine vc mod nprocs_phys
+  in
+  let tiles_of : (string, int list Rect_index.t) Hashtbl.t = Hashtbl.create 8 in
   (* Per-tensor: a spatial index over the distribution's tiles (cyclic
      distributions produce many), the tiles each physical processor owns
      (several under over-decomposition), and a memo of needed-rect ->
-     (piece, owners) coverings — the hot lookups of the simulation. Owner
-     coordinates are physical. *)
+     (piece, owners) coverings — the hot lookups of the simulation. Owners
+     are physical linear indices. *)
   let proc_rects_of : (string, Rect.t list array) Hashtbl.t = Hashtbl.create 8 in
-  let pieces_memo : (string * string, (Rect.t * int array list) list) Hashtbl.t =
+  let pieces_memo : (string * string, (Rect.t * int list) list) Hashtbl.t =
     Hashtbl.create 256
+  in
+  (* Tensors sharing a distribution and shape (e.g. both GEMM operands
+     cyclic over the same grid) share one tile sweep, index and owned-tile
+     table — the index is read-only under query interleaving. *)
+  let geom_memo : (string, int list Rect_index.t * Rect.t list array) Hashtbl.t =
+    Hashtbl.create 8
   in
   List.iter
     (fun tn ->
       let shape = Taskir.shape_of prog tn in
       let dist = List.assoc tn dists in
-      let vtiles = Distnot.tiles dist ~shape ~machine:vmachine in
-      let dedup owners =
-        List.fold_left
-          (fun acc o -> if List.exists (Ints.equal o) acc then acc else o :: acc)
-          [] owners
-        |> List.rev
+      let key = Distnot.to_string dist ^ "|" ^ Ints.to_string shape in
+      let index, rects =
+        match Hashtbl.find_opt geom_memo key with
+        | Some g -> g
+        | None ->
+            let vtiles = Distnot.tiles dist ~shape ~machine:vmachine in
+            let dedup owners =
+              match owners with
+              | [ o ] -> [ lin_of_virtual o ]
+              | _ ->
+                  List.fold_left
+                    (fun acc o ->
+                      let l = lin_of_virtual o in
+                      if List.mem l acc then acc else l :: acc)
+                    [] owners
+                  |> List.rev
+            in
+            let index =
+              Rect_index.build (List.map (fun (r, owners) -> (r, dedup owners)) vtiles)
+            in
+            (* The owned-tile lists fall out of the same tile sweep ([tiles]
+               already ran [rects_of_proc] for every virtual processor). *)
+            let rects = Array.make nprocs [] in
+            List.iter
+              (fun (r, owners) ->
+                List.iter
+                  (fun vc ->
+                    let p = lin_of_virtual vc in
+                    rects.(p) <- r :: rects.(p))
+                  owners)
+              vtiles;
+            let g = (index, rects) in
+            Hashtbl.add geom_memo key g;
+            g
       in
-      Hashtbl.replace tiles_of tn
-        (Rect_index.build
-           (List.map
-              (fun (r, owners) -> (r, dedup (List.map phys_of_virtual owners)))
-              vtiles));
-      let rects = Array.make nprocs [] in
-      List.iter
-        (fun vc ->
-          let p = Machine.linearize machine (phys_of_virtual vc) in
-          List.iter
-            (fun r -> rects.(p) <- r :: rects.(p))
-            (Distnot.rects_of_proc dist ~shape ~machine:vmachine vc))
-        (Machine.proc_coords vmachine);
+      Hashtbl.replace tiles_of tn index;
       Hashtbl.replace proc_rects_of tn rects)
     tensors;
   let pieces_of tn rect =
@@ -276,6 +455,49 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
         let ps = Rect_index.query (Hashtbl.find tiles_of tn) rect in
         Hashtbl.add pieces_memo key ps;
         ps
+  in
+  (* Fetch plans: the pieces of a needed rect grouped by owner set, each
+     group pre-merged by [Comm_plan.merge_rects]. Computed once per
+     distinct (tensor, footprint) and shared by every task that needs that
+     footprint — for cyclic distributions this is where thousands of
+     per-piece decisions collapse into a handful of per-owner batches. *)
+  let plans_memo : (string * string, fetch_group list) Hashtbl.t = Hashtbl.create 64 in
+  let plan_of tn rect =
+    let key = (tn, Rect.to_string rect) in
+    match Hashtbl.find_opt plans_memo key with
+    | Some plan -> plan
+    | None ->
+        let ps = pieces_of tn rect in
+        let rec same_owners (a : int list) (b : int list) =
+          match (a, b) with
+          | [], [] -> true
+          | x :: xs, y :: ys -> x = y && same_owners xs ys
+          | _ -> false
+        in
+        let groups : (int list * Rect.t list ref * int ref) list ref = ref [] in
+        List.iter
+          (fun (piece, owners) ->
+            match List.find_opt (fun (os, _, _) -> same_owners os owners) !groups with
+            | Some (_, ps, vol) ->
+                ps := piece :: !ps;
+                vol := !vol + Rect.volume piece
+            | None -> groups := (owners, ref [ piece ], ref (Rect.volume piece)) :: !groups)
+          ps;
+        let plan =
+          List.rev_map
+            (fun (os, ps, vol) ->
+              let pieces = List.rev !ps in
+              {
+                fg_owners = os;
+                fg_pieces = pieces;
+                fg_merged = Comm_plan.merge_rects pieces;
+                fg_nfrag = List.length pieces;
+                fg_volume = !vol;
+              })
+            !groups
+        in
+        Hashtbl.add plans_memo key plan;
+        plan
   in
   let fmemo = Bounds.memo prov ~stmt in
   (* Reduction mode: some distributed loop variable derives from a
@@ -295,7 +517,7 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
     | None ->
         let a =
           {
-            sgroups = Hashtbl.create 16;
+            raws = [];
             cflops = Array.make nprocs 0.0;
             cbytes = Array.make nprocs 0.0;
             ctouch = Array.make nprocs false;
@@ -316,36 +538,45 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
     a.ctouch.(proc) <- true;
     Metrics.inc m_flops flops
   in
-  let link_of a b = if Machine.same_node machine a b then Cost.Intra else Cost.Inter in
-  (* Cross-rack traffic per step, for the tapered-fabric term (the network
-     hierarchy of §3.1 footnote 1). *)
-  let rack_of coord = Machine.node_of machine coord / cost.Cost.rack_nodes in
   let racks = Ints.ceil_div (Machine.num_nodes machine) cost.Cost.rack_nodes in
-  let add_copy ~step ~tensor ~piece ~src_coord ~dst_coord =
-    let bytes = bytes_of_rect piece in
-    if bytes > 0.0 then begin
+  (* Record one batch of fragments moving src -> dst: traffic metrics and
+     cross-rack accounting see the raw bytes (planning never changes
+     totals); the batch itself is planned into wire messages at assembly
+     time. Trace consumers still see one event per fragment. *)
+  let add_batch ~step ~tensor ~src ~dst ~pieces ~merged ~nfrag ~volume =
+    if volume > 0 then begin
       let a = acc_of step in
-      let src = Machine.linearize machine src_coord in
-      let dst = Machine.linearize machine dst_coord in
-      let key = Printf.sprintf "%s:%s:%d" tensor (Rect.to_string piece) src in
-      let link = link_of src_coord dst_coord in
-      (match Hashtbl.find_opt a.sgroups key with
-      | Some g -> g.receivers <- (dst, link) :: g.receivers
-      | None ->
-          Metrics.inc_int m_copy_groups 1;
-          Hashtbl.add a.sgroups key
-            { tensor; piece; src; src_coord; bytes; receivers = [ (dst, link) ] });
+      let bytes = 8.0 *. float_of_int volume in
+      let link =
+        if node_of_lin.(src) = node_of_lin.(dst) then Cost.Intra else Cost.Inter
+      in
+      a.raws <-
+        { Comm_plan.tensor; pieces; merged; nfrag; volume; src; dst; link } :: a.raws;
       (match link with
       | Cost.Intra -> Metrics.inc m_bytes_intra bytes
       | Cost.Inter -> Metrics.inc m_bytes_inter bytes);
-      if rack_of src_coord <> rack_of dst_coord then a.cross <- a.cross +. bytes;
-      (match trace with
-      | Some log ->
-          log :=
-            { step; tensor; piece; src = src_coord; dst = dst_coord; bytes } :: !log
+      (match List.assoc_opt tensor m_bytes_by_tensor with
+      | Some c -> Metrics.inc c bytes
       | None -> ());
-      Metrics.observe h_copy_bytes bytes;
-      Metrics.inc_int m_messages 1
+      if rack_of_lin.(src) <> rack_of_lin.(dst) then a.cross <- a.cross +. bytes;
+      match trace with
+      | Some log ->
+          let src_c = Machine.delinearize machine src in
+          let dst_c = Machine.delinearize machine dst in
+          List.iter
+            (fun piece ->
+              log :=
+                {
+                  step;
+                  tensor;
+                  piece;
+                  src = src_c;
+                  dst = dst_c;
+                  bytes = bytes_of_rect piece;
+                }
+                :: !log)
+            pieces
+      | None -> ()
     end
   in
   (* Static per-processor memory: owned tiles of every tensor. *)
@@ -391,24 +622,28 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
     let proc_owns tn rect =
       List.exists (fun r -> Rect.subset rect r) (Hashtbl.find proc_rects_of tn).(proc)
     in
-    (* Fetch cost: intersect the needed rect with the owner tiles; local
-       pieces are free, remote pieces become copy events (same-node owners
+    (* Fetch cost: the footprint's memoized fetch plan gives the pieces
+       grouped by owner set; groups the processor itself owns are free,
+       the rest become one fragment batch each (same-node owners
        preferred). *)
     let charge_fetch tn rect =
       let step = step_of () in
       List.iter
-        (fun (piece, owners) ->
-          if List.exists (fun o -> Ints.equal o proc_coord) owners then ()
-          else
-            let src_coord =
+        (fun g ->
+          if not (List.mem proc g.fg_owners) then begin
+            let src =
               match
-                List.find_opt (fun o -> Machine.same_node machine o proc_coord) owners
+                List.find_opt
+                  (fun o -> node_of_lin.(o) = node_of_lin.(proc))
+                  g.fg_owners
               with
               | Some o -> o
-              | None -> List.hd owners
+              | None -> List.hd g.fg_owners
             in
-            add_copy ~step ~tensor:tn ~piece ~src_coord ~dst_coord:proc_coord)
-        (pieces_of tn rect)
+            add_batch ~step ~tensor:tn ~src ~dst:proc ~pieces:g.fg_pieces
+              ~merged:g.fg_merged ~nfrag:g.fg_nfrag ~volume:g.fg_volume
+          end)
+        (plan_of tn rect)
     in
     let flush_output rect buf =
       let step = step_of () in
@@ -428,9 +663,10 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
           (* Owner-computes with a remote owner: ship the tile home. *)
           List.iter
             (fun (piece, os) ->
-              let dst_coord = List.hd os in
-              if not (Ints.equal dst_coord proc_coord) then
-                add_copy ~step ~tensor:out_name ~piece ~src_coord:proc_coord ~dst_coord)
+              let dst = List.hd os in
+              if dst <> proc then
+                add_batch ~step ~tensor:out_name ~src:proc ~dst ~pieces:[ piece ]
+                  ~merged:[ piece ] ~nfrag:1 ~volume:(Rect.volume piece))
             (pieces_of out_name rect);
         match buf with
         | Some b when not (Rect.is_empty rect) ->
@@ -636,59 +872,37 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
   let tasks_per_proc = Ints.ceil_div (List.length points) nprocs in
   let overhead = float_of_int tasks_per_proc *. cost.Cost.task_overhead in
   start := overhead;
-  (* Per-step sorted copy groups, kept for profile emission below. *)
+  (* Per-step planned copy groups, kept for profile emission below. *)
   let sorted_groups : (int, group list) Hashtbl.t = Hashtbl.create 64 in
+  let total_fragments = ref 0 and total_messages = ref 0 in
   let rev_rows = ref [] in
   for step = 0 to nsteps - 1 do
     match steps_acc.(step) with
     | None -> ()
     | Some a ->
-        let glist =
-          Hashtbl.fold (fun k g acc -> (k, g) :: acc) a.sgroups []
-          |> List.sort (fun (x, _) (y, _) -> compare x y)
-          |> List.map snd
+        (* Communication planning: merge this step's raw fragments into
+           block transfers (or keep them one-per-piece when coalescing is
+           disabled), then bundle identical payloads into broadcasts. *)
+        let plan =
+          if coalesce then Comm_plan.coalesce a.raws
+          else Comm_plan.uncoalesced a.raws
         in
+        let glist = group_transfers plan in
         Hashtbl.replace sorted_groups step glist;
+        observe_groups ~m_messages ~m_copy_groups ~m_coalesced ~h_copy_bytes glist;
         (* A processor's communication time in a step combines its send and
            receive occupancies per the cost model's duplex mode (full-duplex
            NICs overlap them; framebuffer DMA serializes them). *)
-        let bytes = ref 0.0 and messages = ref 0 in
-        List.iter
-          (fun g ->
-            let k = List.length g.receivers in
-            bytes := !bytes +. (g.bytes *. float_of_int k);
-            messages := !messages + k;
-            if k = 1 then begin
-              let dst, link = List.hd g.receivers in
-              let t = Cost.copy_time cost link ~bytes:g.bytes in
-              a.recv.(dst) <- a.recv.(dst) +. t;
-              a.mtouch.(dst) <- true;
-              a.send.(g.src) <- a.send.(g.src) +. t;
-              a.mtouch.(g.src) <- true
-            end
-            else begin
-              let worst =
-                if List.exists (fun (_, l) -> l = Cost.Inter) g.receivers then
-                  Cost.Inter
-                else Cost.Intra
-              in
-              List.iter
-                (fun (dst, link) ->
-                  a.send.(dst) <-
-                    a.send.(dst)
-                    +. Cost.broadcast_participant_send cost link ~bytes:g.bytes
-                         ~receivers:k;
-                  a.recv.(dst) <-
-                    a.recv.(dst)
-                    +. Cost.broadcast_time cost link ~bytes:g.bytes ~receivers:k;
-                  a.mtouch.(dst) <- true)
-                g.receivers;
-              a.send.(g.src) <-
-                a.send.(g.src)
-                +. Cost.broadcast_time cost worst ~bytes:g.bytes ~receivers:k;
-              a.mtouch.(g.src) <- true
-            end)
-          glist;
+        let bytes, messages =
+          price_groups cost ~send:a.send ~recv:a.recv ~mtouch:a.mtouch glist
+        in
+        let bytes = ref bytes and messages = ref messages in
+        total_fragments :=
+          !total_fragments
+          + List.fold_left
+              (fun acc (r : Comm_plan.raw) -> acc + r.Comm_plan.nfrag)
+              0 a.raws;
+        total_messages := !total_messages + !messages;
         (* One timeline step per active step: per-processor occupancies,
            the charged cost (max over processors of overlapped
            compute+comm, or the rack fabric), and the traffic that
@@ -746,11 +960,10 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
            let k = List.length procs in
            if k <= 1 then acc
            else begin
-             let coords = List.map (Machine.delinearize machine) procs in
-             let first = List.hd coords in
+             let first = List.hd procs in
              let link =
-               if List.for_all (fun c -> Machine.same_node machine first c) coords then
-                 Cost.Intra
+               if List.for_all (fun p -> node_of_lin.(p) = node_of_lin.(first)) procs
+               then Cost.Intra
                else Cost.Inter
              in
              (match link with
@@ -768,6 +981,13 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
   Metrics.set (Metrics.gauge reg "exec.steps") (float_of_int nsteps);
   Metrics.set (Metrics.gauge reg "exec.overhead_time") overhead;
   Metrics.set (Metrics.gauge reg "exec.reduction_time") red_time;
+  (* Raw fragments per wire message, over the whole run (1.0 when no data
+     moved, or when nothing merged). *)
+  Metrics.set
+    (Metrics.gauge reg "exec.coalesce_ratio")
+    (if !total_messages > 0 then
+       float_of_int !total_fragments /. float_of_int !total_messages
+     else 1.0);
   (* Memory accounting. *)
   let mem_limit = Machine.mem_per_proc_bytes machine in
   let g_peak = Metrics.gauge reg "exec.peak_mem" in
@@ -832,28 +1052,7 @@ let execute ?(mode = Full) ?trace ?profile spec ~data =
                   ~attrs:[ ("occupancy", Event.Float sl.Cp.comm) ]
                   ())
             row.Cp.slots;
-          List.iter
-            (fun g ->
-              let k = List.length g.receivers in
-              List.iter
-                (fun (dst, link) ->
-                  Span.instant sink ~name:g.tensor ~cat:"copy" ~pid ~tid:dst
-                    ~ts:row.Cp.start
-                    ~attrs:
-                      [
-                        ("tensor", Event.Str g.tensor);
-                        ("piece", Event.Str (Rect.to_string g.piece));
-                        ("src", Event.Int g.src);
-                        ("dst", Event.Int dst);
-                        ("bytes", Event.Float g.bytes);
-                        ( "link",
-                          Event.Str
-                            (match link with Cost.Intra -> "intra" | Cost.Inter -> "inter")
-                        );
-                        ("receivers", Event.Int k);
-                      ]
-                    ())
-                (List.rev g.receivers))
+          emit_copy_instants sink ~pid ~ts:row.Cp.start
             (copy_groups_of row.Cp.index))
         step_rows;
       if red_time > 0.0 then
@@ -885,100 +1084,102 @@ let redistribute ?profile machine cost ~shape ~src ~dst =
   let m_bytes_inter = Metrics.counter reg "exec.bytes_inter" in
   let m_messages = Metrics.counter reg "exec.messages" in
   let m_copy_groups = Metrics.counter reg "exec.copy_groups" in
+  let m_coalesced = Metrics.counter reg "exec.coalesced_groups" in
   let h_copy_bytes = Metrics.histogram reg "exec.copy_bytes" in
-  let src_tiles = Distnot.tiles src ~shape ~machine in
-  let dst_tiles = Distnot.tiles dst ~shape ~machine in
   let nprocs = Machine.num_procs machine in
-  (* Same-piece, same-source transfers to several receivers are broadcasts,
-     bundled and priced exactly as [execute] prices its copy groups (a
-     replicated destination must not pay k independent point-to-point
-     copies). *)
-  let groups : (string, group) Hashtbl.t = Hashtbl.create 64 in
+  let node_of_lin =
+    Array.init nprocs (fun p -> Machine.node_of machine (Machine.delinearize machine p))
+  in
+  let rack_of_lin = Array.map (fun n -> n / cost.Cost.rack_nodes) node_of_lin in
+  let lin_owners (r, os) = (r, List.map (Machine.linearize machine) os) in
+  let src_tiles = List.map lin_owners (Distnot.tiles src ~shape ~machine) in
+  let dst_tiles = List.map lin_owners (Distnot.tiles dst ~shape ~machine) in
+  let racks = Ints.ceil_div (Machine.num_nodes machine) cost.Cost.rack_nodes in
+  (* Discover the raw transfer list (same-node owners preferred), then run
+     it through the same planning, broadcast grouping and one-step timing
+     assembly as [execute]: a redistribution is just a one-step execution
+     with no compute. *)
+  let raws = ref [] in
+  let rev_raw_count = ref 0 in
+  let cross = ref 0.0 in
   List.iter
     (fun (dr, downers) ->
       List.iter
-        (fun dcoord ->
+        (fun d ->
           List.iter
             (fun (sr, sowners) ->
               let piece = Rect.inter dr sr in
-              if
-                (not (Rect.is_empty piece))
-                && not (List.exists (fun o -> Ints.equal o dcoord) sowners)
-              then begin
-                let src_coord =
+              if (not (Rect.is_empty piece)) && not (List.mem d sowners) then begin
+                let s =
                   match
-                    List.find_opt (fun o -> Machine.same_node machine o dcoord) sowners
+                    List.find_opt
+                      (fun o -> node_of_lin.(o) = node_of_lin.(d))
+                      sowners
                   with
                   | Some o -> o
                   | None -> List.hd sowners
                 in
                 let bytes = bytes_of_rect piece in
                 let link =
-                  if Machine.same_node machine src_coord dcoord then Cost.Intra
+                  if node_of_lin.(s) = node_of_lin.(d) then Cost.Intra
                   else Cost.Inter
                 in
-                let sp = Machine.linearize machine src_coord in
-                let dp = Machine.linearize machine dcoord in
-                let key = Printf.sprintf "%s:%d" (Rect.to_string piece) sp in
-                (match Hashtbl.find_opt groups key with
-                | Some g -> g.receivers <- (dp, link) :: g.receivers
-                | None ->
-                    Metrics.inc_int m_copy_groups 1;
-                    Hashtbl.add groups key
-                      {
-                        tensor = "";
-                        piece;
-                        src = sp;
-                        src_coord;
-                        bytes;
-                        receivers = [ (dp, link) ];
-                      });
-                Metrics.observe h_copy_bytes bytes;
-                Metrics.inc_int m_messages 1;
-                match link with
+                (match link with
                 | Cost.Intra -> Metrics.inc m_bytes_intra bytes
-                | Cost.Inter -> Metrics.inc m_bytes_inter bytes
+                | Cost.Inter -> Metrics.inc m_bytes_inter bytes);
+                if rack_of_lin.(s) <> rack_of_lin.(d) then cross := !cross +. bytes;
+                incr rev_raw_count;
+                raws :=
+                  {
+                    Comm_plan.tensor = "";
+                    pieces = [ piece ];
+                    merged = [ piece ];
+                    nfrag = 1;
+                    volume = Rect.volume piece;
+                    src = s;
+                    dst = d;
+                    link;
+                  }
+                  :: !raws
               end)
             src_tiles)
         downers)
     dst_tiles;
-  let glist =
-    Hashtbl.fold (fun k g acc -> (k, g) :: acc) groups []
-    |> List.sort (fun (x, _) (y, _) -> compare x y)
-    |> List.map snd
-  in
-  let send = Array.make nprocs 0.0 and recv = Array.make nprocs 0.0 in
-  List.iter
-    (fun g ->
-      let k = List.length g.receivers in
-      if k = 1 then begin
-        let dst, link = List.hd g.receivers in
-        let t = Cost.copy_time cost link ~bytes:g.bytes in
-        recv.(dst) <- recv.(dst) +. t;
-        send.(g.src) <- send.(g.src) +. t
-      end
-      else begin
-        let worst =
-          if List.exists (fun (_, l) -> l = Cost.Inter) g.receivers then Cost.Inter
-          else Cost.Intra
-        in
-        List.iter
-          (fun (dst, link) ->
-            send.(dst) <-
-              send.(dst)
-              +. Cost.broadcast_participant_send cost link ~bytes:g.bytes ~receivers:k;
-            recv.(dst) <-
-              recv.(dst) +. Cost.broadcast_time cost link ~bytes:g.bytes ~receivers:k)
-          g.receivers;
-        send.(g.src) <-
-          send.(g.src) +. Cost.broadcast_time cost worst ~bytes:g.bytes ~receivers:k
-      end)
-    glist;
-  let time = ref 0.0 in
-  for p = 0 to nprocs - 1 do
-    time := Float.max !time (Float.max send.(p) recv.(p))
+  let glist = group_transfers (Comm_plan.coalesce !raws) in
+  observe_groups ~m_messages ~m_copy_groups ~m_coalesced ~h_copy_bytes glist;
+  let send = Array.make nprocs 0.0
+  and recv = Array.make nprocs 0.0
+  and mtouch = Array.make nprocs false in
+  let bytes_moved, messages = price_groups cost ~send ~recv ~mtouch glist in
+  Metrics.set
+    (Metrics.gauge reg "exec.coalesce_ratio")
+    (if messages > 0 then float_of_int !rev_raw_count /. float_of_int messages
+     else 1.0);
+  (* One exchange step, assembled exactly as [execute] assembles a step:
+     send and receive occupancies combine per the cost model's duplex rule,
+     and cross-rack traffic charges the tapered fabric. *)
+  let slots = ref [] in
+  for p = nprocs - 1 downto 0 do
+    if mtouch.(p) then begin
+      let cm = Cost.combine_sr cost ~send:send.(p) ~recv:recv.(p) in
+      slots :=
+        {
+          Cp.proc = p;
+          compute = 0.0;
+          comm = cm;
+          busy = Cost.step_time cost ~compute:0.0 ~comm:cm;
+        }
+        :: !slots
+    end
   done;
-  let time = !time in
+  let slots = !slots in
+  let fabric =
+    if !cross > 0.0 then Cost.fabric_time cost ~cross_rack_bytes:!cross ~racks
+    else 0.0
+  in
+  let time =
+    List.fold_left (fun acc (sl : Cp.slot) -> Float.max acc sl.Cp.busy) fabric slots
+  in
   Metrics.set (Metrics.gauge reg "exec.time") time;
   Metrics.set (Metrics.gauge reg "exec.steps") 1.0;
   (match (profile, prun) with
@@ -990,47 +1191,15 @@ let redistribute ?profile machine cost ~shape ~src ~dst =
           (Printf.sprintf "proc %d %s" proc
              (Ints.to_string (Machine.delinearize machine proc)))
       done;
-      (* One exchange step: each processor is busy for the larger of its
-         send and receive occupancy. *)
-      let slots = ref [] in
-      for p = nprocs - 1 downto 0 do
-        if send.(p) > 0.0 || recv.(p) > 0.0 then begin
-          let busy = Float.max send.(p) recv.(p) in
-          slots := { Cp.proc = p; compute = 0.0; comm = busy; busy } :: !slots
-        end
-      done;
-      let slots = !slots in
       List.iter
         (fun (sl : Cp.slot) ->
           if sl.Cp.busy > 0.0 then
             Span.complete sink ~name:"redistribute" ~cat:"comm" ~pid ~tid:sl.Cp.proc
-              ~ts:0.0 ~dur:sl.Cp.busy ())
+              ~ts:0.0 ~dur:sl.Cp.busy
+              ~attrs:[ ("occupancy", Event.Float sl.Cp.comm) ]
+              ())
         slots;
-      let total_bytes = ref 0.0 and msgs = ref 0 in
-      List.iter
-        (fun g ->
-          let k = List.length g.receivers in
-          List.iter
-            (fun (dp, link) ->
-              total_bytes := !total_bytes +. g.bytes;
-              incr msgs;
-              Span.instant sink ~name:"redistribute copy" ~cat:"copy" ~pid ~tid:dp
-                ~ts:0.0
-                ~attrs:
-                  [
-                    ("piece", Event.Str (Rect.to_string g.piece));
-                    ("src", Event.Int g.src);
-                    ("dst", Event.Int dp);
-                    ("bytes", Event.Float g.bytes);
-                    ( "link",
-                      Event.Str
-                        (match link with Cost.Intra -> "intra" | Cost.Inter -> "inter")
-                    );
-                    ("receivers", Event.Int k);
-                  ]
-                ())
-            (List.rev g.receivers))
-        glist;
+      emit_copy_instants sink ~pid ~ts:0.0 ~name:"redistribute copy" glist;
       run.Profile.timeline <-
         Some
           {
@@ -1044,9 +1213,9 @@ let redistribute ?profile machine cost ~shape ~src ~dst =
                   start = 0.0;
                   cost = time;
                   slots;
-                  bytes = !total_bytes;
-                  messages = !msgs;
-                  fabric = 0.0;
+                  bytes = bytes_moved;
+                  messages;
+                  fabric;
                 };
               ];
             total = time;

@@ -54,6 +54,7 @@ val trace_to_string : trace_event -> string
 
 val execute :
   ?mode:mode ->
+  ?coalesce:bool ->
   ?trace:trace_event list ref ->
   ?profile:Distal_obs.Profile.t ->
   spec ->
@@ -63,6 +64,13 @@ val execute :
     statements, the output's initial value); in [Model] mode it is ignored
     and [output] is [None]. With [trace], every copy event is appended to
     the list (in issue order) — the communication pattern of Fig. 8/12.
+
+    [coalesce] (default [true]) runs {!Comm_plan} over each step's raw
+    transfers, merging same-source/same-destination fragments into block
+    or strided-run messages before they are priced — functional results,
+    traces and byte totals are unchanged; message counts, copy-group
+    structure and charged times reflect the merged plan. Pass [false] to
+    price every fragment as its own message (the pre-planning model).
 
     With [profile], the execution registers itself as a run of the profile
     and emits structured observability data: per-step compute/comm spans
@@ -91,6 +99,9 @@ val redistribute :
   Stats.t
 (** Cost of moving a tensor between two distributed layouts (§1: "easily
     transform data between distributed layouts to match the computation").
-    One bulk-synchronous exchange step. With [profile], every transfer is
-    recorded as a copy event and the exchange becomes a one-step
-    timeline. *)
+    One bulk-synchronous exchange step, planned ({!Comm_plan}), broadcast
+    grouped, priced and profiled exactly as one step of {!execute} with no
+    compute — per-processor occupancies combine under the cost model's
+    duplex rule and cross-rack traffic charges the rack fabric. With
+    [profile], every transfer is recorded as a copy event and the exchange
+    becomes a one-step timeline. *)

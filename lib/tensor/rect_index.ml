@@ -32,11 +32,22 @@ let build tile_list =
   let dims = if n = 0 then 0 else Rect.dim (fst entries.(0)) in
   let cuts =
     Array.init dims (fun d ->
-        let bounds = ref [] in
-        Array.iter
-          (fun ((r : Rect.t), _) -> bounds := r.lo.(d) :: r.hi.(d) :: !bounds)
+        let vals = Array.make (2 * n) 0 in
+        Array.iteri
+          (fun i ((r : Rect.t), _) ->
+            vals.(2 * i) <- r.lo.(d);
+            vals.((2 * i) + 1) <- r.hi.(d))
           entries;
-        Array.of_list (List.sort_uniq compare !bounds))
+        Array.sort (fun (a : int) b -> if a < b then -1 else if a > b then 1 else 0) vals;
+        (* Dedup the sorted bounds in place. *)
+        let m = ref 0 in
+        for i = 1 to (2 * n) - 1 do
+          if vals.(i) <> vals.(!m) then begin
+            incr m;
+            vals.(!m) <- vals.(i)
+          end
+        done;
+        if n = 0 then [||] else Array.sub vals 0 (!m + 1))
   in
   let buckets =
     Array.init dims (fun d ->
@@ -105,20 +116,37 @@ let query t (rect : Rect.t) =
     match !best with
     | None -> []
     | Some (d, a, b, _) ->
+        (* Stamp the candidate ids, then sweep the stamped id range in
+           ascending order — a sequential scan that restores insertion
+           order without sorting the (possibly tens of thousands of)
+           candidates. Non-overlapping candidates are rejected with scalar
+           compares before allocating the intersection. *)
         t.stamp <- t.stamp + 1;
-        let ids = ref [] in
+        let min_id = ref max_int and max_id = ref (-1) in
         for s = a to b - 1 do
           Array.iter
             (fun id ->
-              if t.last_seen.(id) <> t.stamp then begin
-                t.last_seen.(id) <- t.stamp;
-                ids := id :: !ids
-              end)
+              t.last_seen.(id) <- t.stamp;
+              if id < !min_id then min_id := id;
+              if id > !max_id then max_id := id)
             t.buckets.(d).(s)
         done;
-        List.sort compare !ids
-        |> List.filter_map (fun id ->
-               let r, v = t.entries.(id) in
-               let piece = Rect.inter rect r in
-               if Rect.is_empty piece then None else Some (piece, v))
+        let overlaps (r : Rect.t) =
+          let rec go i =
+            i = t.dims
+            || (rect.lo.(i) < r.hi.(i) && r.lo.(i) < rect.hi.(i) && go (i + 1))
+          in
+          go 0
+        in
+        let acc = ref [] in
+        for id = !max_id downto !min_id do
+          if t.last_seen.(id) = t.stamp then begin
+            let r, v = t.entries.(id) in
+            if overlaps r then begin
+              let piece = Rect.inter rect r in
+              if not (Rect.is_empty piece) then acc := (piece, v) :: !acc
+            end
+          end
+        done;
+        !acc
   end

@@ -1,0 +1,278 @@
+(* Communication planning must be invisible to semantics: a coalesced
+   plan moves exactly the same multiset of (tensor, element, src, dst) as
+   the raw fragments, Full-mode results are byte-identical with the pass
+   on or off, and a redistribution prices exactly like the equivalent
+   single-step execution. *)
+
+module Rect = Distal_tensor.Rect
+module Dense = Distal_tensor.Dense
+module Comm_plan = Distal_runtime.Comm_plan
+module Cost = Distal_machine.Cost_model
+module Rng = Distal_support.Rng
+module Api = Distal.Api
+module Machine = Api.Machine
+module D = Api.Distnot
+module Exec = Api.Exec
+module Profile = Distal_obs.Profile
+module Metrics = Distal_obs.Metrics
+module Cp = Distal_obs.Critical_path
+
+let rect lo hi = Rect.make ~lo:(Array.of_list lo) ~hi:(Array.of_list hi)
+let show = Comm_plan.describe
+
+(* {2 Merge behaviour} *)
+
+let test_merge_units () =
+  (* A column of abutting unit rects collapses to one block. *)
+  let column = List.init 6 (fun i -> rect [ i; 0 ] [ i + 1; 1 ]) in
+  (match Comm_plan.merge_rects column with
+  | [ r ] -> Alcotest.(check string) "column" "[0,6)x[0,1)" (Rect.to_string r)
+  | rs -> Alcotest.failf "column merged to %s" (show rs));
+  (* A full 2D block of unit rects collapses to one rect, whatever the
+     input order. *)
+  let grid =
+    List.concat_map (fun i -> List.init 3 (fun j -> rect [ j; i ] [ j + 1; i + 1 ]))
+      [ 2; 0; 1 ]
+  in
+  (match Comm_plan.merge_rects grid with
+  | [ r ] -> Alcotest.(check string) "grid" "[0,3)x[0,3)" (Rect.to_string r)
+  | rs -> Alcotest.failf "grid merged to %s" (show rs))
+
+let test_merge_strided () =
+  (* Stride-2 rows never abut: the cyclic pattern stays an explicit
+     strided run of k fragments. *)
+  let strided = List.init 4 (fun i -> rect [ 2 * i ] [ (2 * i) + 1 ]) in
+  let merged = Comm_plan.merge_rects strided in
+  Alcotest.(check int) "stride-2 keeps its fragments" 4 (List.length merged);
+  (* ...and merging is idempotent on it. *)
+  Alcotest.(check int) "idempotent" 0
+    (Comm_plan.compare_rects merged (Comm_plan.merge_rects merged))
+
+(* {2 The multiset property} *)
+
+(* Every integer point of a rect, as (coordinate list). *)
+let points (r : Rect.t) =
+  let dims = Rect.dim r in
+  let acc = ref [] in
+  let coord = Array.copy r.lo in
+  let rec go d =
+    if d = dims then acc := Array.to_list coord :: !acc
+    else
+      for x = r.lo.(d) to r.hi.(d) - 1 do
+        coord.(d) <- x;
+        go (d + 1)
+      done
+  in
+  go 0;
+  !acc
+
+(* The multiset a plan moves: one (tensor, point, src, dst) per element. *)
+let elements xfers =
+  List.concat_map
+    (fun (x : Comm_plan.xfer) ->
+      List.concat_map
+        (fun r -> List.map (fun p -> (x.Comm_plan.tensor, p, x.Comm_plan.src, x.Comm_plan.dst)) (points r))
+        x.Comm_plan.rects)
+    xfers
+  |> List.sort compare
+
+(* Random batches: disjoint unit cells of a small box per batch, random
+   (tensor, src, dst) per batch — collisions across batches exercise the
+   multi-batch buckets of [coalesce]. *)
+let gen_raws rng =
+  let dims = 1 + Rng.int rng 3 in
+  let extent = 2 + Rng.int rng 4 in
+  let nbatches = 1 + Rng.int rng 4 in
+  List.init nbatches (fun _ ->
+      let cells = ref [] in
+      let coord = Array.make dims 0 in
+      let rec sweep d =
+        if d = dims then begin
+          if Rng.int rng 3 > 0 then
+            cells :=
+              Rect.make ~lo:(Array.copy coord)
+                ~hi:(Array.map succ coord)
+              :: !cells
+        end
+        else
+          for x = 0 to extent - 1 do
+            coord.(d) <- x;
+            sweep (d + 1)
+          done
+      in
+      sweep 0;
+      let pieces = if !cells = [] then [ rect [ 0 ] [ 1 ] ] else !cells in
+      let src = Rng.int rng 4 and dst = Rng.int rng 4 in
+      Comm_plan.batch
+        ~tensor:(if Rng.int rng 2 = 0 then "A" else "B")
+        ~src ~dst
+        ~link:(if src = dst then Cost.Intra else Cost.Inter)
+        pieces)
+
+let fuzz_multiset seed =
+  let rng = Rng.create (seed * 257) in
+  let raws = gen_raws rng in
+  let planned = Comm_plan.coalesce raws in
+  let raw = Comm_plan.uncoalesced raws in
+  if elements planned <> elements raw then
+    QCheck.Test.fail_reportf "coalesced plan moves a different element multiset";
+  (* Internal consistency of every planned transfer. *)
+  List.iter
+    (fun (x : Comm_plan.xfer) ->
+      if x.Comm_plan.fragments <> List.length x.Comm_plan.rects then
+        QCheck.Test.fail_reportf "fragments /= |rects| in %s" (show x.Comm_plan.rects);
+      let vol = List.fold_left (fun acc r -> acc + Rect.volume r) 0 x.Comm_plan.rects in
+      if vol <> x.Comm_plan.volume then
+        QCheck.Test.fail_reportf "volume %d /= payload volume %d" x.Comm_plan.volume vol)
+    planned;
+  let total p = List.fold_left (fun acc (x : Comm_plan.xfer) -> acc + x.Comm_plan.volume) 0 p in
+  if total planned <> total raw then
+    QCheck.Test.fail_reportf "coalescing changed total volume";
+  List.length planned <= List.length raw
+  || QCheck.Test.fail_reportf "more transfers after coalescing"
+
+let qcheck_multiset =
+  QCheck.Test.make ~name:"coalesced == raw element multiset" ~count:500
+    QCheck.small_nat
+    (fun seed -> fuzz_multiset (succ seed))
+
+(* {2 Full-mode byte identity} *)
+
+(* The cyclic SUMMA GEMM from the simperf suite, scaled down: the
+   worst-case fragment producer. *)
+let cyclic_gemm_plan () =
+  let machine = Machine.grid [| 2; 2 |] in
+  let n = 16 in
+  let p =
+    Api.problem_exn ~machine ~stmt:"A(i,j) = B(i,k) * C(k,j)"
+      ~tensors:
+        [
+          Api.tensor "A" [| n; n |] ~dist:"[x,y] -> [x,y]";
+          Api.tensor "B" [| n; n |] ~dist:"[x,y] -> [x%1,y%1]";
+          Api.tensor "C" [| n; n |] ~dist:"[x,y] -> [x%1,y%1]";
+        ]
+      ()
+  in
+  Api.compile_script_exn p
+    ~schedule:
+      "distribute_onto({i,j}, {io,jo}, {ii,ji}, [2,2]); split(k, ko, ki, 4);\n\
+       reorder(ko, ii, ji, ki); communicate(A, jo); communicate({B,C}, ko)"
+
+let metric run name =
+  match Metrics.value run.Profile.metrics name with
+  | Some v -> v
+  | None -> Alcotest.failf "metric %s missing" name
+
+let test_full_identity () =
+  let plan = cyclic_gemm_plan () in
+  let data = Api.random_inputs plan in
+  let run_with coalesce =
+    let profile = Profile.create () in
+    let trace = ref [] in
+    let r = Api.run_exn ~mode:Exec.Full ~coalesce ~trace ~profile plan ~data in
+    match r.Exec.output with
+    | None -> Alcotest.fail "no Full-mode output"
+    | Some out -> (out, !trace, List.hd (Profile.runs profile))
+  in
+  let out_on, trace_on, run_on = run_with true in
+  let out_off, trace_off, run_off = run_with false in
+  (* Byte-identical results: same shape, bitwise-equal payload. *)
+  Alcotest.(check (array int)) "shape" (Dense.shape out_off) (Dense.shape out_on);
+  for i = 0 to Dense.size out_on - 1 do
+    if not (Int64.equal
+              (Int64.bits_of_float (Dense.get_lin out_on i))
+              (Int64.bits_of_float (Dense.get_lin out_off i)))
+    then Alcotest.failf "outputs differ at linear index %d" i
+  done;
+  (* The trace (raw per-piece copies) and byte totals are pre-planning
+     observations: identical with the pass on or off. *)
+  Alcotest.(check int) "trace length" (List.length trace_off) (List.length trace_on);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "trace event" (Exec.trace_to_string a)
+        (Exec.trace_to_string b))
+    trace_off trace_on;
+  List.iter
+    (fun m ->
+      Alcotest.(check (float 0.0)) m (metric run_off m) (metric run_on m))
+    [ "exec.bytes_intra"; "exec.bytes_inter"; "exec.tasks"; "exec.bytes_by_tensor.B" ];
+  (* ...while the planned message structure tightens. *)
+  if metric run_on "exec.messages" >= metric run_off "exec.messages" then
+    Alcotest.failf "coalescing did not reduce messages (%g vs %g)"
+      (metric run_on "exec.messages") (metric run_off "exec.messages");
+  if metric run_on "exec.coalesce_ratio" <= 1.0 then
+    Alcotest.failf "coalesce ratio %g should exceed 1 on a cyclic workload"
+      (metric run_on "exec.coalesce_ratio");
+  Alcotest.(check (float 0.0)) "uncoalesced ratio is 1"
+    1.0 (metric run_off "exec.coalesce_ratio")
+
+(* {2 Redistribute prices like the equivalent execute step} *)
+
+(* One owner scattering slices to every processor, on a half-duplex GPU
+   cost model (so send+receive serialize and the combine rule matters):
+   [redistribute] must produce exactly the per-processor communication
+   occupancies, bytes and message count of the same exchange arising from
+   a single-step execution. *)
+let test_redistribute_parity () =
+  let machine = Machine.grid ~kind:Machine.Gpu ~mem_per_proc:16e9 [| 4 |] in
+  let cost = Cost.gpu_distal in
+  let shape = [| 64 |] in
+  let prof_r = Profile.create () in
+  ignore
+    (Exec.redistribute ~profile:prof_r machine cost ~shape
+       ~src:(D.parse_exn "[x] -> [0]") ~dst:(D.parse_exn "[x] -> [x]"));
+  let p =
+    Api.problem_exn ~machine ~stmt:"A(i) = B(i)"
+      ~tensors:
+        [
+          Api.tensor "A" shape ~dist:"[x] -> [x]";
+          Api.tensor "B" shape ~dist:"[x] -> [0]";
+        ]
+      ()
+  in
+  let plan =
+    Api.compile_script_exn p
+      ~schedule:"divide(i, io, ii, 4); distribute(io); communicate(B, io)"
+  in
+  let prof_e = Profile.create () in
+  ignore (Api.run_exn ~mode:Exec.Model ~cost ~profile:prof_e plan ~data:[]);
+  let timeline p =
+    match (List.hd (Profile.runs p)).Profile.timeline with
+    | Some tl -> tl
+    | None -> Alcotest.fail "no timeline"
+  in
+  let rstep =
+    match (timeline prof_r).Cp.steps with
+    | [ s ] -> s
+    | ss -> Alcotest.failf "redistribute emitted %d steps" (List.length ss)
+  in
+  let estep =
+    match List.filter (fun (s : Cp.step) -> s.Cp.messages > 0) (timeline prof_e).Cp.steps with
+    | [ s ] -> s
+    | ss -> Alcotest.failf "execute emitted %d communicating steps" (List.length ss)
+  in
+  Alcotest.(check int) "messages" estep.Cp.messages rstep.Cp.messages;
+  Alcotest.(check (float 0.0)) "bytes" estep.Cp.bytes rstep.Cp.bytes;
+  Alcotest.(check (float 0.0)) "fabric" estep.Cp.fabric rstep.Cp.fabric;
+  (* Same per-processor communication occupancy (execute's slots also
+     carry compute; redistribute's are comm-only). *)
+  let comms (s : Cp.step) =
+    List.filter_map
+      (fun (sl : Cp.slot) -> if sl.Cp.comm > 0.0 then Some (sl.Cp.proc, sl.Cp.comm) else None)
+      s.Cp.slots
+  in
+  Alcotest.(check (list (pair int (float 0.0)))) "per-proc comm occupancy"
+    (comms estep) (comms rstep)
+
+let suites =
+  [
+    ( "comm plan",
+      [
+        Alcotest.test_case "adjacent rects merge" `Quick test_merge_units;
+        Alcotest.test_case "cyclic stride stays a strided run" `Quick test_merge_strided;
+        QCheck_alcotest.to_alcotest qcheck_multiset;
+        Alcotest.test_case "Full output byte-identical on/off" `Quick test_full_identity;
+        Alcotest.test_case "redistribute == single-step execute" `Quick
+          test_redistribute_parity;
+      ] );
+  ]

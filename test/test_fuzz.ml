@@ -71,9 +71,12 @@ let gen_dist rng ~rank ~mdims =
             available := List.filter (fun a -> a <> ax) !available;
             D.Part ax
         | 1 when !available <> [] ->
+            (* Block-cyclic, block 1-3: block 1 produces the per-element
+               tile sets whose transfers exercise the communication
+               planner's strided-run path. *)
             let ax = List.nth !available (Rng.int rng (List.length !available)) in
             available := List.filter (fun a -> a <> ax) !available;
-            D.Cyclic (ax, 1 + Rng.int rng 2)
+            D.Cyclic (ax, 1 + Rng.int rng 3)
         | 2 -> D.Fix (Rng.int rng mdims.(m))
         | _ -> D.Bcast)
   in
@@ -208,12 +211,18 @@ let gen_dist2 rng ~rank ~mdims =
     let available = ref tensor_axes in
     let machine_axes =
       List.init (Array.length sub_mdims) (fun m ->
-          match Rng.int rng 3 with
+          match Rng.int rng 4 with
           | 0 when !available <> [] ->
               let ax = List.nth !available (Rng.int rng (List.length !available)) in
               available := List.filter (fun a -> a <> ax) !available;
               D.Part ax
-          | 1 -> D.Fix (Rng.int rng sub_mdims.(m))
+          | 1 when !available <> [] ->
+              (* Multi-level block-cyclic ([Distnot.level_tiles] composes
+                 the levels): cyclic fragments at node scope. *)
+              let ax = List.nth !available (Rng.int rng (List.length !available)) in
+              available := List.filter (fun a -> a <> ax) !available;
+              D.Cyclic (ax, 1 + Rng.int rng 2)
+          | 2 -> D.Fix (Rng.int rng sub_mdims.(m))
           | _ -> D.Bcast)
     in
     { D.tensor_axes; machine_axes }
