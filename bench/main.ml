@@ -211,10 +211,15 @@ let simperf_cyclic_ttv ~i ~jk ~procs ~vprocs =
       (Printf.sprintf "divide(i, io, ii, %d); distribute(io); communicate({A,B,c}, io)"
          vprocs)
 
-(* One profiled run for the event counts, then [reps] timed runs. *)
-let simperf_measure ?(coalesce = true) plan ~reps =
+let now () = Distal_support.Pool.now ()
+
+(* One profiled run for the event counts (which doubles as warmup), then
+   [reps] timed runs, keeping the best: the minimum over repetitions is
+   the standard de-noising for wall-clock measurement — scheduler and GC
+   interference only ever add time. *)
+let simperf_measure ?(coalesce = true) ?domains plan ~reps =
   let profile = Profile.create () in
-  (match Api.run ~mode:Api.Exec.Model ~coalesce ~profile plan ~data:[] with
+  (match Api.run ~mode:Api.Exec.Model ~coalesce ?domains ~profile plan ~data:[] with
   | Ok _ -> ()
   | Error e -> failwith ("simperf run failed: " ^ e));
   let metric name run =
@@ -224,14 +229,89 @@ let simperf_measure ?(coalesce = true) plan ~reps =
   let tasks = metric "exec.tasks" run in
   let groups = metric "exec.copy_groups" run in
   let ratio = metric "exec.coalesce_ratio" run in
-  let t0 = Sys.time () in
+  let best = ref infinity in
   for _ = 1 to reps do
-    match Api.run ~mode:Api.Exec.Model ~coalesce plan ~data:[] with
+    let t0 = now () in
+    (match Api.run ~mode:Api.Exec.Model ~coalesce ?domains plan ~data:[] with
     | Ok _ -> ()
-    | Error e -> failwith ("simperf run failed: " ^ e)
+    | Error e -> failwith ("simperf run failed: " ^ e));
+    let w = now () -. t0 in
+    if w < !best then best := w
   done;
-  let wall = (Sys.time () -. t0) /. float_of_int reps in
-  (tasks, groups, ratio, wall)
+  (tasks, groups, ratio, !best)
+
+(* The planner's before/after comparison wants a noise-immune ratio:
+   runtest executes this next to the whole alcotest suite on however
+   many cores the host has, and whole-run timing under that contention
+   says more about the scheduler and the GC than about the planner —
+   planning is a percent or two of a run that is otherwise identical on
+   both sides. So the ratio comes from the executor's own
+   [exec.plan_wall_s] metric, which times exactly the stage the
+   [~coalesce] switch controls (fragment coalescing, broadcast grouping,
+   message pricing): best-of-[reps] per side over interleaved runs —
+   the minimum discards samples where a GC pause landed inside the
+   stage's timing window. *)
+let planner_speedup plan ~reps =
+  let run coalesce =
+    let profile = Profile.create () in
+    (match Api.run ~mode:Api.Exec.Model ~coalesce ~domains:1 ~profile plan ~data:[] with
+    | Ok _ -> ()
+    | Error e -> failwith ("simperf run failed: " ^ e));
+    let run = List.hd (Profile.runs profile) in
+    match Metrics.value run.Profile.metrics "exec.plan_wall_s" with
+    | Some v -> v
+    | None -> 0.0
+  in
+  ignore (run true);
+  ignore (run false);
+  let plan_on = ref infinity and plan_off = ref infinity in
+  for _ = 1 to reps do
+    let on = run true in
+    if on < !plan_on then plan_on := on;
+    let off = run false in
+    if off < !plan_off then plan_off := off
+  done;
+  if !plan_on > 0.0 then !plan_off /. !plan_on else 1.0
+
+(* Wall clock of a Full (real arithmetic) run on one domain, best of
+   [reps] — the staged-vs-generic leaf comparison below pins the domain
+   count so it measures the evaluator, not the pool. *)
+let full_wall ?staged plan ~data ~reps =
+  let warm () =
+    match Api.run ~mode:Api.Exec.Full ?staged ~domains:1 plan ~data with
+    | Ok _ -> ()
+    | Error e -> failwith ("simperf leaf run failed: " ^ e)
+  in
+  warm ();
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = now () in
+    warm ();
+    let w = now () -. t0 in
+    if w < !best then best := w
+  done;
+  !best
+
+(* An unsubstituted GEMM: the leaf is the generic scalar loop nest over
+   (ii, ji, k), the workload the staged evaluator exists for. *)
+let simperf_leaf ~n ~grid =
+  let machine = Machine.grid [| grid; grid |] in
+  let p =
+    Api.problem_exn ~machine ~stmt:"A(i,j) = B(i,k) * C(k,j)"
+      ~tensors:
+        [
+          Api.tensor "A" [| n; n |] ~dist:"[x,y] -> [x,y]";
+          Api.tensor "B" [| n; n |] ~dist:"[x,y] -> [x,y]";
+          Api.tensor "C" [| n; n |] ~dist:"[x,y] -> [x,y]";
+        ]
+      ()
+  in
+  Api.compile_script_exn p
+    ~schedule:
+      (Printf.sprintf
+         "distribute_onto({i,j}, {io,jo}, {ii,ji}, [%d,%d]); communicate(A, jo);\n\
+          communicate({B,C}, jo)"
+         grid grid)
 
 let simperf_run ~small () =
   Printf.printf "== simperf: simulator throughput (real wall clock%s) ==\n"
@@ -243,14 +323,14 @@ let simperf_run ~small () =
   let specs =
     if small then
       [
-        ("cyclic-gemm", simperf_gemm ~n:64 ~grid:4 ~chunks:8, 1, true);
-        ("cyclic-ttv", simperf_cyclic_ttv ~i:512 ~jk:32 ~procs:4 ~vprocs:128, 1, true);
+        ("cyclic-gemm", simperf_gemm ~n:64 ~grid:4 ~chunks:8, 3, true);
+        ("cyclic-ttv", simperf_cyclic_ttv ~i:512 ~jk:32 ~procs:4 ~vprocs:128, 3, true);
         ( "ttv",
           (Result.get_ok
              (H.ttv ~i:256 ~j:64 ~k:64
                 ~machine:(Machine.grid ~kind:Machine.Cpu ~mem_per_proc:256e9 [| 4 |])))
             .H.plan,
-          1,
+          3,
           false );
       ]
     else
@@ -269,8 +349,8 @@ let simperf_run ~small () =
   let table =
     Distal_support.Table.create
       ~header:
-        [ "workload"; "wall/run"; "uncoalesced"; "speedup"; "frag/msg"; "tasks/s";
-          "copy groups/s" ]
+        [ "workload"; "wall/run"; "uncoalesced"; "speedup"; "wall@2dom"; "wall@4dom";
+          "frag/msg"; "tasks/s"; "copy groups/s" ]
   in
   let metrics = ref [] in
   List.iter
@@ -278,14 +358,21 @@ let simperf_run ~small () =
       let tasks, groups, ratio, wall = simperf_measure plan ~reps in
       let per v = if wall > 0.0 then v /. wall else 0.0 in
       let raw_wall =
-        if compare then
+        if compare then begin
           let _, _, _, w = simperf_measure ~coalesce:false plan ~reps in
           Some w
+        end
         else None
       in
       let speedup =
-        match raw_wall with Some w when wall > 0.0 -> Some (w /. wall) | _ -> None
+        if compare then Some (planner_speedup plan ~reps:(max reps 9)) else None
       in
+      (* Host-domain scaling of the same run. Informational: on a
+         single-core container these show the pool's overhead, on real
+         multi-core hosts its benefit — the [_d] names keep them outside
+         the [*.wall_s] baseline gate for exactly that reason. *)
+      let _, _, _, wall_d2 = simperf_measure ~domains:2 plan ~reps in
+      let _, _, _, wall_d4 = simperf_measure ~domains:4 plan ~reps in
       Distal_support.Table.add_row table
         [
           name;
@@ -294,6 +381,8 @@ let simperf_run ~small () =
           | Some w -> Printf.sprintf "%.3f ms" (w *. 1e3)
           | None -> "-");
           (match speedup with Some s -> Printf.sprintf "%.1fx" s | None -> "-");
+          Printf.sprintf "%.3f ms" (wall_d2 *. 1e3);
+          Printf.sprintf "%.3f ms" (wall_d4 *. 1e3);
           Printf.sprintf "%.1f" ratio;
           Printf.sprintf "%.0f" (per tasks);
           Printf.sprintf "%.0f" (per groups);
@@ -302,6 +391,8 @@ let simperf_run ~small () =
         !metrics
         @ [
             (name ^ ".wall_s", wall, "s");
+            (name ^ ".wall_d2_s", wall_d2, "s");
+            (name ^ ".wall_d4_s", wall_d4, "s");
             (name ^ ".tasks_per_s", per tasks, "tasks/s");
             (name ^ ".copy_groups_per_s", per groups, "groups/s");
             (name ^ ".coalesce_ratio", ratio, "fragments/msg");
@@ -314,6 +405,29 @@ let simperf_run ~small () =
         | Some s -> [ (name ^ ".coalesce_speedup", s, "x") ]
         | None -> [])
     specs;
+  (* The staged leaf evaluator against the generic [Expr.eval] loop, on
+     real arithmetic (Full mode), one domain. *)
+  let leaf_plan = if small then simperf_leaf ~n:48 ~grid:2 else simperf_leaf ~n:128 ~grid:2 in
+  let leaf_data = Api.random_inputs leaf_plan in
+  let leaf_reps = if small then 3 else 5 in
+  let leaf_wall = full_wall ~staged:true leaf_plan ~data:leaf_data ~reps:leaf_reps in
+  let leaf_generic = full_wall ~staged:false leaf_plan ~data:leaf_data ~reps:leaf_reps in
+  let leaf_speedup = if leaf_wall > 0.0 then leaf_generic /. leaf_wall else 0.0 in
+  Distal_support.Table.add_row table
+    [
+      "leaf (staged vs generic)";
+      Printf.sprintf "%.3f ms" (leaf_wall *. 1e3);
+      Printf.sprintf "%.3f ms" (leaf_generic *. 1e3);
+      Printf.sprintf "%.1fx" leaf_speedup;
+      "-"; "-"; "-"; "-"; "-";
+    ];
+  metrics :=
+    !metrics
+    @ [
+        ("leaf.wall_s", leaf_wall, "s");
+        ("leaf.unstaged_wall_s", leaf_generic, "s");
+        ("leaf.stage_speedup", leaf_speedup, "x");
+      ];
   Distal_support.Table.print table;
   let json =
     Json.Obj

@@ -12,8 +12,13 @@
    every [*.wall_s] metric in the baseline document is also compared
    against the same metric in the validated files: the run fails with a
    per-metric diff if any wall-clock metric exceeds baseline * tolerance —
-   the regression guard for the simulator's own performance. Metrics other
-   than [*.wall_s] are informational and never gate. *)
+   the regression guard for the simulator's own performance. The
+   [DISTAL_BENCH_TOLERANCE] environment variable overrides the flag, so a
+   noisy CI host can relax the gate without editing build files. Metrics
+   other than [*.wall_s] are informational and never gate — except
+   [*.coalesce_speedup], which must never fall below 1.0: communication
+   planning losing to not planning is a planner regression regardless of
+   the host. *)
 
 module Json = Distal_obs.Json
 
@@ -113,6 +118,16 @@ let check_trace ~file j events =
   ignore j;
   Printf.printf "%s: ok (trace, %d events)\n" file (List.length events)
 
+(* Communication planning must never lose to not planning, on any
+   workload: a [*.coalesce_speedup] below 1.0 means the planner spent
+   more time merging fragments than the merged plan saved. *)
+let check_speedups () =
+  List.iter
+    (fun (name, v) ->
+      if String.ends_with ~suffix:".coalesce_speedup" name && v < 1.0 then
+        fail "%s is %.3fx: communication planning slower than no planning" name v)
+    !seen_metrics
+
 let check file =
   match Json.parse (read_file file) with
   | Error e -> fail "%s: invalid JSON: %s" file e
@@ -183,8 +198,17 @@ let () =
   match Array.to_list Sys.argv with
   | _ :: (_ :: _ as args) ->
       let baseline, tolerance, files = parse None 2.0 [] args in
+      let tolerance =
+        match Sys.getenv_opt "DISTAL_BENCH_TOLERANCE" with
+        | None | Some "" -> tolerance
+        | Some s -> (
+            match float_of_string_opt s with
+            | Some t when t > 0.0 -> t
+            | _ -> fail "DISTAL_BENCH_TOLERANCE must be a positive number, got %S" s)
+      in
       if files = [] then fail "no files to validate";
       List.iter check files;
+      check_speedups ();
       Option.iter (fun b -> check_baseline ~baseline:b ~tolerance) baseline
   | _ ->
       prerr_endline

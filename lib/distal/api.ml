@@ -110,11 +110,12 @@ let spec ?cost plan =
     virtual_grid = plan.problem.virtual_grid;
   }
 
-let run ?mode ?coalesce ?cost ?trace ?profile plan ~data =
-  Exec.execute ?mode ?coalesce ?trace ?profile (spec ?cost plan) ~data
+let run ?mode ?coalesce ?domains ?staged ?cost ?trace ?profile plan ~data =
+  Exec.execute ?mode ?coalesce ?domains ?staged ?trace ?profile (spec ?cost plan)
+    ~data
 
-let run_exn ?mode ?coalesce ?cost ?trace ?profile plan ~data =
-  or_invalid (run ?mode ?coalesce ?cost ?trace ?profile plan ~data)
+let run_exn ?mode ?coalesce ?domains ?staged ?cost ?trace ?profile plan ~data =
+  or_invalid (run ?mode ?coalesce ?domains ?staged ?cost ?trace ?profile plan ~data)
 
 let estimate ?cost ?profile plan =
   match Exec.execute ~mode:Exec.Model ?profile (spec ?cost plan) ~data:[] with

@@ -92,6 +92,8 @@ val default_cost : Machine.t -> Cost_model.t
 val run :
   ?mode:Exec.mode ->
   ?coalesce:bool ->
+  ?domains:int ->
+  ?staged:bool ->
   ?cost:Cost_model.t ->
   ?trace:Exec.trace_event list ref ->
   ?profile:Obs.Profile.t ->
@@ -100,13 +102,15 @@ val run :
   (Exec.result, string) result
 (** With [profile], the execution registers as a run of the profile and
     emits spans, copy events, metrics and a step timeline; [coalesce]
-    (default [true]) controls the communication-planning pass (see
+    (default [true]) controls the communication-planning pass; [domains]
+    the host domain-pool size and [staged] the compiled-leaf fast path —
+    neither affects results, traces, stats or event streams (see
     {!Exec.execute}). *)
 
 val run_exn :
-  ?mode:Exec.mode -> ?coalesce:bool -> ?cost:Cost_model.t ->
-  ?trace:Exec.trace_event list ref -> ?profile:Obs.Profile.t -> plan ->
-  data:(string * Dense.t) list -> Exec.result
+  ?mode:Exec.mode -> ?coalesce:bool -> ?domains:int -> ?staged:bool ->
+  ?cost:Cost_model.t -> ?trace:Exec.trace_event list ref ->
+  ?profile:Obs.Profile.t -> plan -> data:(string * Dense.t) list -> Exec.result
 
 val estimate : ?cost:Cost_model.t -> ?profile:Obs.Profile.t -> plan -> Stats.t
 (** Performance-model-only execution ({!Exec.Model} mode). *)

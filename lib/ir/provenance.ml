@@ -26,6 +26,8 @@ let copy t =
 
 let mem t v = Hashtbl.mem t.defs v
 let roots t = t.root_order
+let consumption t v = Hashtbl.find_opt t.cons v
+let consumed t = Hashtbl.fold (fun v _ acc -> v :: acc) t.cons []
 
 let rec extent t v =
   match Hashtbl.find_opt t.defs v with

@@ -20,8 +20,24 @@
 
 type t
 
+type consumption =
+  | Divided_into of { outer : Ident.t; inner : Ident.t; inner_size : int }
+  | Fused_into of { fused : Ident.t; pos : [ `First | `Second ] }
+  | Rotated_into of { result : Ident.t; by : Ident.t list }
+      (** How a consumed variable is reconstructed from its replacements
+          (see the conventions above). Exposed so staging passes can
+          compile the reconstruction instead of re-interpreting it per
+          iteration-space point. *)
+
 val create : (Ident.t * int) list -> t
 (** Fresh graph with the given root variables and extents. *)
+
+val consumption : t -> Ident.t -> consumption option
+(** How [v] was transformed away, or [None] while it is live (or unknown). *)
+
+val consumed : t -> Ident.t list
+(** Every consumed variable, in unspecified order. These are exactly the
+    variables {!guards_ok} can reject. *)
 
 val copy : t -> t
 val mem : t -> Ident.t -> bool

@@ -107,6 +107,19 @@ let traffic_by_tensor reg =
     "traffic by tensor:\n" ^ Table.to_string table
   end
 
+(* Host-side execution line: the simulated times above never depend on
+   host parallelism, but the probe's own wall clock and how well it kept
+   the domain pool busy are worth a glance when tuning
+   DISTAL_NUM_DOMAINS. *)
+let host_execution reg =
+  match Metrics.value reg "exec.compute_wall_s" with
+  | None -> ""
+  | Some wall ->
+      let v name = Option.value (Metrics.value reg name) ~default:0.0 in
+      Printf.sprintf "host: probe %.3g s wall on %.0f domain(s), %.0f%% pool utilization\n"
+        wall (v "exec.pool_domains")
+        (100.0 *. v "exec.pool_utilization")
+
 let run_report (run : Profile.run) =
   let buf = Buffer.create 512 in
   Buffer.add_string buf (Printf.sprintf "== profile: %s ==\n" run.Profile.name);
@@ -115,6 +128,7 @@ let run_report (run : Profile.run) =
       Buffer.add_string buf (step_table tl);
       Buffer.add_string buf (critical_path_summary (Cp.analyse tl))
   | None -> Buffer.add_string buf "(no timeline recorded)\n");
+  Buffer.add_string buf (host_execution run.Profile.metrics);
   Buffer.add_string buf (traffic_by_tensor run.Profile.metrics);
   Buffer.add_string buf (Metrics.render run.Profile.metrics);
   Buffer.add_char buf '\n';

@@ -142,19 +142,82 @@ let compare_xfer a b =
 let make_xfer tensor src dst link rects volume =
   { tensor; src; dst; link; rects; fragments = List.length rects; volume }
 
+let hull_of = function
+  | [] -> None
+  | (r : Rect.t) :: rest -> Some (List.fold_left Rect.hull r rest)
+
+(* No rect of a batch with bounding box [a] can ever merge with one of a
+   batch with bounding box [b] when some dimension leaves a strict gap
+   between the boxes: merging requires abutting coordinates ([hi = lo],
+   bounds are exclusive) in one dimension and equal bounds in every
+   other, and a gap rules both out — including transitively, since a
+   merged rect stays inside its batch's box.
+
+   A strict gap along one {e fixed} dimension chains: if consecutive
+   boxes in the list keep a strict gap along dimension [k], every pair
+   of boxes does. So one linear pass suffices — track, per dimension, a
+   bit for "still strictly ascending with gaps" and one for descending,
+   and accept when any dimension survives. Cyclic distributions hit
+   this constantly (each task's fetch plan is a distinct stripe of the
+   owner's data, discovered in stripe order); anything irregular falls
+   back to the full merge, which stays correct, just slower. *)
+let chain_separated rs =
+  let rec start = function
+    | [] -> true
+    | (r : raw) :: tl -> (
+        match hull_of r.merged with None -> start tl | Some b0 -> walk b0 tl)
+  and walk b0 tl =
+    let d = Array.length b0.Rect.lo in
+    d <= 62
+    &&
+    let full = (1 lsl d) - 1 in
+    let rec go (prev : Rect.t) asc desc = function
+      | [] -> true
+      | (r : raw) :: tl -> (
+          match hull_of r.merged with
+          | None -> go prev asc desc tl
+          | Some (b : Rect.t) ->
+              let asc = ref asc and desc = ref desc in
+              for k = 0 to d - 1 do
+                let bit = 1 lsl k in
+                if prev.hi.(k) >= b.lo.(k) then asc := !asc land lnot bit;
+                if b.hi.(k) >= prev.lo.(k) then desc := !desc land lnot bit
+              done;
+              !asc lor !desc <> 0 && go b !asc !desc tl)
+    in
+    go b0 full full tl
+  in
+  start rs
+
+let rec sorted_rect_list = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as rest) -> compare_rect a b <= 0 && sorted_rect_list rest
+
 let coalesce raws =
   (* Bucket by (tensor, src, dst). Tensor names are interned to small ints
-     so bucket keys are plain ints. A bucket holding a single batch reuses
-     the batch's pre-merged payload outright — the common case, since the
-     executor merges each fetch plan once and shares it across tasks. *)
+     so bucket keys are plain ints; consecutive raws usually name the same
+     tensor (the executor emits one task's fetches together), so the
+     intern table is consulted only when the name changes. A bucket
+     holding a single batch reuses the batch's pre-merged payload
+     outright — the common case, since the executor merges each fetch
+     plan once and shares it across tasks. *)
   let tensors = Hashtbl.create 8 in
+  let last_tn = ref "" and last_id = ref 0 in
   let intern tn =
-    match Hashtbl.find_opt tensors tn with
-    | Some id -> id
-    | None ->
-        let id = Hashtbl.length tensors in
-        Hashtbl.add tensors tn id;
-        id
+    if tn == !last_tn then !last_id
+    else begin
+      let id =
+        match Hashtbl.find_opt tensors tn with
+        | Some id -> id
+        | None ->
+            let id = Hashtbl.length tensors in
+            Hashtbl.add tensors tn id;
+            id
+      in
+      last_tn := tn;
+      last_id := id;
+      id
+    end
   in
   let buckets : (int, raw list ref) Hashtbl.t = Hashtbl.create 64 in
   List.iter
@@ -168,9 +231,20 @@ let coalesce raws =
     (fun _ l acc ->
       match !l with
       | [ (r : raw) ] -> make_xfer r.tensor r.src r.dst r.link r.merged r.volume :: acc
-      | rs ->
+      | rev_rs ->
+          (* Buckets cons in reverse discovery order; restoring discovery
+             order usually leaves the concatenated payload already in
+             canonical order, so the no-merge fast path below pays one
+             sortedness sweep instead of a sort. *)
+          let rs = List.rev rev_rs in
           let (r0 : raw) = List.hd rs in
-          let rects = merge_rects (List.concat_map (fun (r : raw) -> r.merged) rs) in
+          let payload = List.concat_map (fun (r : raw) -> r.merged) rs in
+          let rects =
+            if chain_separated rs then
+              if sorted_rect_list payload then payload
+              else List.sort compare_rect payload
+            else merge_rects payload
+          in
           let volume = List.fold_left (fun acc (r : raw) -> acc + r.volume) 0 rs in
           make_xfer r0.tensor r0.src r0.dst r0.link rects volume :: acc)
     buckets []

@@ -1,4 +1,5 @@
 module Ints = Distal_support.Ints
+module Pool = Distal_support.Pool
 module Dense = Distal_tensor.Dense
 module Rect = Distal_tensor.Rect
 module Rect_index = Distal_tensor.Rect_index
@@ -6,6 +7,7 @@ module Kernels = Distal_tensor.Kernels
 module Machine = Distal_machine.Machine
 module Cost = Distal_machine.Cost_model
 module Expr = Distal_ir.Expr
+module Expr_stage = Distal_ir.Expr_stage
 module Provenance = Distal_ir.Provenance
 module Bounds = Distal_ir.Bounds
 module Taskir = Distal_ir.Taskir
@@ -99,6 +101,34 @@ type fetch_group = {
   fg_nfrag : int;
   fg_volume : int;
 }
+
+(* Deferred side effects of one task probe. Index-launch points run
+   concurrently on a domain pool, so a task body never touches shared
+   state: it records its compute charges, communication batches and (in
+   Full mode) its local output contribution as an ordered effect list.
+   After the pool joins, the caller replays every task's list in
+   launch-point order — metrics, traces, step accumulators, reduction
+   bookkeeping and the global output store observe exactly the sequence a
+   serial execution produces, whatever the domain count. *)
+type fx =
+  | Fx_compute of { step : int; flops : float; bytes : float }
+  | Fx_batch of {
+      step : int;
+      tensor : string;
+      src : int;
+      dst : int;
+      pieces : Rect.t list;
+      merged : Rect.t list;
+      nfrag : int;
+      volume : int;
+    }
+  | Fx_red of { rect : Rect.t; buf : Dense.t option }
+      (* reduction partial: register the contribution, add into the output *)
+  | Fx_out of { rect : Rect.t; buf : Dense.t option }
+      (* owner-computes delta: add into the output (instances are
+         zero-seeded, so tasks produce deltas and the merge accumulates) *)
+
+type task_result = { tr_proc : int; tr_fxs : fx list; tr_dyn_max : float }
 
 (* Per-step accumulators, preallocated per physical processor. One record
    per *active* step (a step some copy or compute touched), so the timing
@@ -254,7 +284,8 @@ let ops_per_point (stmt : Expr.stmt) =
   let c = count stmt.rhs + if Expr.reduction_vars stmt <> [] then 1 else 0 in
   max 1 c
 
-let execute ?(mode = Full) ?(coalesce = true) ?trace ?profile spec ~data =
+let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?trace ?profile spec
+    ~data =
   (* Register this execution as a run of the profile (its own pid, metrics
      registry and timeline slot). Without a profile the registry is private
      to this call; either way it is the single accumulator the final
@@ -270,6 +301,14 @@ let execute ?(mode = Full) ?(coalesce = true) ?trace ?profile spec ~data =
   let m_tasks = Metrics.counter reg "exec.tasks" in
   let m_copy_groups = Metrics.counter reg "exec.copy_groups" in
   let m_coalesced = Metrics.counter reg "exec.coalesced_groups" in
+  (* Host CPU seconds spent planning communication (fragment coalescing,
+     broadcast grouping and message pricing). Wall-clock observability
+     only: like [exec.compute_wall_s] it lives in the metrics registry
+     and never feeds events or simulated time, so determinism across
+     pool sizes is untouched. The simperf bench reads it to compare the
+     planner against the planner-off path without the noise of timing
+     whole runs. *)
+  let m_plan_host = Metrics.counter reg "exec.plan_wall_s" in
   let h_copy_bytes = Metrics.histogram reg "exec.copy_bytes" in
   let prog = spec.program in
   let stmt = prog.stmt in
@@ -396,9 +435,6 @@ let execute ?(mode = Full) ?(coalesce = true) ?trace ?profile spec ~data =
      (piece, owners) coverings — the hot lookups of the simulation. Owners
      are physical linear indices. *)
   let proc_rects_of : (string, Rect.t list array) Hashtbl.t = Hashtbl.create 8 in
-  let pieces_memo : (string * string, (Rect.t * int list) list) Hashtbl.t =
-    Hashtbl.create 256
-  in
   (* Tensors sharing a distribution and shape (e.g. both GEMM operands
      cyclic over the same grid) share one tile sweep, index and owned-tile
      table — the index is read-only under query interleaving. *)
@@ -447,59 +483,75 @@ let execute ?(mode = Full) ?(coalesce = true) ?trace ?profile spec ~data =
       Hashtbl.replace tiles_of tn index;
       Hashtbl.replace proc_rects_of tn rects)
     tensors;
-  let pieces_of tn rect =
-    let key = (tn, Rect.to_string rect) in
-    match Hashtbl.find_opt pieces_memo key with
-    | Some ps -> ps
-    | None ->
-        let ps = Rect_index.query (Hashtbl.find tiles_of tn) rect in
-        Hashtbl.add pieces_memo key ps;
-        ps
-  in
-  (* Fetch plans: the pieces of a needed rect grouped by owner set, each
-     group pre-merged by [Comm_plan.merge_rects]. Computed once per
-     distinct (tensor, footprint) and shared by every task that needs that
-     footprint — for cyclic distributions this is where thousands of
+  (* Per-lane working state: every mutable cache a task probe touches.
+     Each pool lane builds its own (memo tables, index cursor, bounds
+     memo), so concurrent tasks never share mutable state; within a lane,
+     tasks hit the same memos a serial run would. [pieces_of] covers a
+     needed rect with (piece, owners) from the spatial index; [plan_of]
+     groups those pieces by owner set and pre-merges each group
+     ([Comm_plan.merge_rects]) — computed once per distinct (tensor,
+     footprint) and shared by every task in the lane that needs that
+     footprint. For cyclic distributions this is where thousands of
      per-piece decisions collapse into a handful of per-owner batches. *)
-  let plans_memo : (string * string, fetch_group list) Hashtbl.t = Hashtbl.create 64 in
-  let plan_of tn rect =
-    let key = (tn, Rect.to_string rect) in
-    match Hashtbl.find_opt plans_memo key with
-    | Some plan -> plan
-    | None ->
-        let ps = pieces_of tn rect in
-        let rec same_owners (a : int list) (b : int list) =
-          match (a, b) with
-          | [], [] -> true
-          | x :: xs, y :: ys -> x = y && same_owners xs ys
-          | _ -> false
-        in
-        let groups : (int list * Rect.t list ref * int ref) list ref = ref [] in
-        List.iter
-          (fun (piece, owners) ->
-            match List.find_opt (fun (os, _, _) -> same_owners os owners) !groups with
-            | Some (_, ps, vol) ->
-                ps := piece :: !ps;
-                vol := !vol + Rect.volume piece
-            | None -> groups := (owners, ref [ piece ], ref (Rect.volume piece)) :: !groups)
-          ps;
-        let plan =
-          List.rev_map
-            (fun (os, ps, vol) ->
-              let pieces = List.rev !ps in
-              {
-                fg_owners = os;
-                fg_pieces = pieces;
-                fg_merged = Comm_plan.merge_rects pieces;
-                fg_nfrag = List.length pieces;
-                fg_volume = !vol;
-              })
-            !groups
-        in
-        Hashtbl.add plans_memo key plan;
-        plan
+  let make_lane_ctx () =
+    let cursor = Rect_index.cursor () in
+    let pieces_memo : (string * string, (Rect.t * int list) list) Hashtbl.t =
+      Hashtbl.create 256
+    in
+    let pieces_of tn rect =
+      let key = (tn, Rect.to_string rect) in
+      match Hashtbl.find_opt pieces_memo key with
+      | Some ps -> ps
+      | None ->
+          let ps = Rect_index.query ~cursor (Hashtbl.find tiles_of tn) rect in
+          Hashtbl.add pieces_memo key ps;
+          ps
+    in
+    let plans_memo : (string * string, fetch_group list) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let plan_of tn rect =
+      let key = (tn, Rect.to_string rect) in
+      match Hashtbl.find_opt plans_memo key with
+      | Some plan -> plan
+      | None ->
+          let ps = pieces_of tn rect in
+          let rec same_owners (a : int list) (b : int list) =
+            match (a, b) with
+            | [], [] -> true
+            | x :: xs, y :: ys -> x = y && same_owners xs ys
+            | _ -> false
+          in
+          let groups : (int list * Rect.t list ref * int ref) list ref = ref [] in
+          List.iter
+            (fun (piece, owners) ->
+              match
+                List.find_opt (fun (os, _, _) -> same_owners os owners) !groups
+              with
+              | Some (_, ps, vol) ->
+                  ps := piece :: !ps;
+                  vol := !vol + Rect.volume piece
+              | None ->
+                  groups := (owners, ref [ piece ], ref (Rect.volume piece)) :: !groups)
+            ps;
+          let plan =
+            List.rev_map
+              (fun (os, ps, vol) ->
+                let pieces = List.rev !ps in
+                {
+                  fg_owners = os;
+                  fg_pieces = pieces;
+                  fg_merged = Comm_plan.merge_rects pieces;
+                  fg_nfrag = List.length pieces;
+                  fg_volume = !vol;
+                })
+              !groups
+          in
+          Hashtbl.add plans_memo key plan;
+          plan
+    in
+    (Bounds.memo prov ~stmt, pieces_of, plan_of)
   in
-  let fmemo = Bounds.memo prov ~stmt in
   (* Reduction mode: some distributed loop variable derives from a
      variable summed over (§3.3: "distributing variables used for
      reductions results in distributed reductions into the output"). *)
@@ -592,10 +644,37 @@ let execute ?(mode = Full) ?(coalesce = true) ?trace ?profile spec ~data =
   let dyn_peak = Array.make nprocs 0.0 in
   (* {3 Per-task walk} *)
   let ops = ops_per_point stmt in
-  let run_task (point : int array) =
-    Metrics.inc_int m_tasks 1;
+  (* Staged leaf evaluation: the statement's scalar loop nest is compiled
+     once per execution into flat loops over precomputed strides
+     ({!Expr_stage}); [Expr.eval] stays the per-point oracle fallback.
+     Plans are immutable, so every lane shares this one. *)
+  let use_staged =
+    match staged with
+    | Some b -> b
+    | None -> (
+        match Sys.getenv_opt "DISTAL_STAGE" with
+        | Some s -> String.trim s <> "0"
+        | None -> true)
+  in
+  let staged_plan =
+    if mode = Full && use_staged then begin
+      let rec leaf_of = function
+        | Taskir.Launch { body; _ } | Seq_loop { body; _ } | Ensure { body; _ } ->
+            leaf_of body
+        | Leaf (Scalar_loops vars) -> Some vars
+        | Leaf (Named _) -> None
+      in
+      match leaf_of prog.tree with
+      | Some vars -> Expr_stage.plan prov ~stmt ~leaf_vars:vars
+      | None -> None
+    end
+    else None
+  in
+  let run_task ~fmemo ~pieces_of ~plan_of (point : int array) =
     let proc_coord = Mapper.proc_of_point machine ~launch_dims:ldims point in
     let proc = Machine.linearize machine proc_coord in
+    let fxs = ref [] in
+    let emit e = fxs := e :: !fxs in
     let env_tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
     List.iteri (fun i v -> Hashtbl.replace env_tbl v point.(i)) lvars;
     let env v = Hashtbl.find_opt env_tbl v in
@@ -640,24 +719,24 @@ let execute ?(mode = Full) ?(coalesce = true) ?trace ?profile spec ~data =
               | Some o -> o
               | None -> List.hd g.fg_owners
             in
-            add_batch ~step ~tensor:tn ~src ~dst:proc ~pieces:g.fg_pieces
-              ~merged:g.fg_merged ~nfrag:g.fg_nfrag ~volume:g.fg_volume
+            emit
+              (Fx_batch
+                 {
+                   step;
+                   tensor = tn;
+                   src;
+                   dst = proc;
+                   pieces = g.fg_pieces;
+                   merged = g.fg_merged;
+                   nfrag = g.fg_nfrag;
+                   volume = g.fg_volume;
+                 })
           end)
         (plan_of tn rect)
     in
     let flush_output rect buf =
       let step = step_of () in
-      let bytes = bytes_of_rect rect in
-      if reduction then begin
-        (match Hashtbl.find_opt red_contribs (Rect.to_string rect) with
-        | Some (b, procs) ->
-            Hashtbl.replace red_contribs (Rect.to_string rect) (b, proc :: procs)
-        | None -> Hashtbl.add red_contribs (Rect.to_string rect) (bytes, [ proc ]));
-        match buf with
-        | Some b when not (Rect.is_empty rect) ->
-            Dense.accumulate_into ~src:b ~dst:(Hashtbl.find global out_name) rect
-        | _ -> ()
-      end
+      if reduction then emit (Fx_red { rect; buf })
       else begin
         if not (proc_owns out_name rect) then
           (* Owner-computes with a remote owner: ship the tile home. *)
@@ -665,13 +744,20 @@ let execute ?(mode = Full) ?(coalesce = true) ?trace ?profile spec ~data =
             (fun (piece, os) ->
               let dst = List.hd os in
               if dst <> proc then
-                add_batch ~step ~tensor:out_name ~src:proc ~dst ~pieces:[ piece ]
-                  ~merged:[ piece ] ~nfrag:1 ~volume:(Rect.volume piece))
+                emit
+                  (Fx_batch
+                     {
+                       step;
+                       tensor = out_name;
+                       src = proc;
+                       dst;
+                       pieces = [ piece ];
+                       merged = [ piece ];
+                       nfrag = 1;
+                       volume = Rect.volume piece;
+                     }))
             (pieces_of out_name rect);
-        match buf with
-        | Some b when not (Rect.is_empty rect) ->
-            Dense.blit_into ~src:b ~dst:(Hashtbl.find global out_name) rect
-        | _ -> ()
+        emit (Fx_out { rect; buf })
       end
     in
     let ensure tn =
@@ -705,7 +791,12 @@ let execute ?(mode = Full) ?(coalesce = true) ?trace ?profile spec ~data =
         else charge_fetch tn rect;
         let buf =
           if mode = Model then None
-          else if tn = out_name && reduction then Some (Dense.create (Rect.extents rect))
+          else if tn = out_name then
+            (* Output instances are zero-seeded deltas — reduction partials
+               and owner-computes writes alike. Tasks probe concurrently, so
+               the base value joins exactly once, at merge time, when the
+               delta accumulates into the global store. *)
+            Some (Dense.create (Rect.extents rect))
           else Some (Dense.extract (Hashtbl.find global tn) rect)
         in
         Hashtbl.replace cache tn (rect, buf, counted);
@@ -746,9 +837,13 @@ let execute ?(mode = Full) ?(coalesce = true) ?trace ?profile spec ~data =
     in
     let exec_leaf leaf =
       let step = step_of () in
-      add_compute ~step ~proc
-        ~flops:(float_of_int ops *. leaf_points ())
-        ~bytes:(leaf_bytes ());
+      emit
+        (Fx_compute
+           {
+             step;
+             flops = float_of_int ops *. leaf_points ();
+             bytes = leaf_bytes ();
+           });
       if mode = Full then begin
         let buffer tn =
           match Hashtbl.find_opt cache tn with
@@ -797,6 +892,32 @@ let execute ?(mode = Full) ?(coalesce = true) ?trace ?profile spec ~data =
                 Dense.blit_into ~src:slice ~dst:buf local
             | _ -> ())
         | Taskir.Scalar_loops vars ->
+            (* Fast path: run the compiled nest over the raw instance
+               arrays. Same executed points, order and float operations as
+               the generic loop below — bit-identical output. Falls through
+               to the oracle when this binding cannot be staged. *)
+            let staged_done =
+              match staged_plan with
+              | None -> false
+              | Some sp ->
+                  let slots = Expr_stage.slots sp in
+                  let nslots = Array.length slots in
+                  let inst_of i (a : Expr.access) =
+                    if i < nslots - 1 && reads_out && String.equal a.tensor out_name
+                    then
+                      match !out_read with
+                      | Some (r, Some b, _) -> Some (r, b)
+                      | _ -> None
+                    else
+                      match Hashtbl.find_opt cache a.tensor with
+                      | Some (r, Some b, _) -> Some (r, b)
+                      | _ -> None
+                  in
+                  let insts = Array.mapi inst_of slots in
+                  Array.for_all Option.is_some insts
+                  && Expr_stage.run sp ~env ~insts:(Array.map Option.get insts)
+            in
+            if not staged_done then begin
             let extents = Array.of_list (List.map (Provenance.extent prov) vars) in
             let vars_arr = Array.of_list vars in
             let lookup (a : Expr.access) coord =
@@ -834,6 +955,7 @@ let execute ?(mode = Full) ?(coalesce = true) ?trace ?profile spec ~data =
                   Dense.add_at out_buf local v
                 end);
             Array.iter (fun v -> Hashtbl.remove env_tbl v) vars_arr
+            end
       end
     in
     let rec walk = function
@@ -854,13 +976,82 @@ let execute ?(mode = Full) ?(coalesce = true) ?trace ?profile spec ~data =
     (match Hashtbl.find_opt cache out_name with
     | Some (r, buf, _) -> flush_output r buf
     | None -> ());
-    if !dyn_max > dyn_peak.(proc) then dyn_peak.(proc) <- !dyn_max
+    { tr_proc = proc; tr_fxs = List.rev !fxs; tr_dyn_max = !dyn_max }
   in
   let points =
-    if Array.length ldims = 0 then [ [||] ]
-    else Ints.fold_box ldims ~init:[] ~f:(fun acc c -> c :: acc) |> List.rev
+    if Array.length ldims = 0 then [| [||] |]
+    else
+      Array.of_list
+        (List.rev (Ints.fold_box ldims ~init:[] ~f:(fun acc c -> c :: acc)))
   in
-  List.iter run_task points;
+  let npoints = Array.length points in
+  (* {3 Parallel probe, serial merge} *)
+  (* Launch points are independent by construction (the distribution
+     partitions the output), so lanes probe contiguous point ranges
+     concurrently; each result slot is written by exactly one lane, and
+     the pool join orders those writes before the merge below. Simulated
+     time never depends on the lane count: it is assembled from the
+     replayed effects, not from host timing. *)
+  let pool = Pool.get ?size:domains () in
+  let lanes = max 1 (min (Pool.size pool) npoints) in
+  let results : task_result option array = Array.make npoints None in
+  let lane_busy = Array.make lanes 0.0 in
+  let wall0 = Pool.now () in
+  Pool.run pool ~lanes (fun lane ->
+      let t0 = Pool.now () in
+      let fmemo, pieces_of, plan_of = make_lane_ctx () in
+      let lo = lane * npoints / lanes and hi = (lane + 1) * npoints / lanes in
+      for i = lo to hi - 1 do
+        results.(i) <- Some (run_task ~fmemo ~pieces_of ~plan_of points.(i))
+      done;
+      lane_busy.(lane) <- Pool.now () -. t0);
+  let compute_wall = Pool.now () -. wall0 in
+  (* Host-side wall clock of the probe phase (not simulated time), plus
+     pool shape and utilization. Gauges only: these never enter the event
+     stream or the derived [Stats.t], so Full-mode runs stay byte-identical
+     across domain counts. *)
+  Metrics.set (Metrics.gauge reg "exec.compute_wall_s") compute_wall;
+  Metrics.set (Metrics.gauge reg "exec.pool_domains") (float_of_int lanes);
+  Metrics.set
+    (Metrics.gauge reg "exec.pool_utilization")
+    (if compute_wall > 0.0 then
+       Array.fold_left ( +. ) 0.0 lane_busy /. (float_of_int lanes *. compute_wall)
+     else 1.0);
+  (* Replay every task's deferred effects in launch-point order: metrics,
+     traces, step accumulators, reduction bookkeeping and the global output
+     observe exactly the sequence a serial execution produces. *)
+  Array.iter
+    (fun r ->
+      let { tr_proc = proc; tr_fxs; tr_dyn_max } = Option.get r in
+      Metrics.inc_int m_tasks 1;
+      List.iter
+        (fun e ->
+          match e with
+          | Fx_compute { step; flops; bytes } -> add_compute ~step ~proc ~flops ~bytes
+          | Fx_batch { step; tensor; src; dst; pieces; merged; nfrag; volume } ->
+              add_batch ~step ~tensor ~src ~dst ~pieces ~merged ~nfrag ~volume
+          | Fx_red { rect; buf } -> (
+              (match Hashtbl.find_opt red_contribs (Rect.to_string rect) with
+              | Some (b, procs) ->
+                  Hashtbl.replace red_contribs (Rect.to_string rect)
+                    (b, proc :: procs)
+              | None ->
+                  Hashtbl.add red_contribs (Rect.to_string rect)
+                    (bytes_of_rect rect, [ proc ]));
+              match buf with
+              | Some b when not (Rect.is_empty rect) ->
+                  Dense.accumulate_into ~src:b ~dst:(Hashtbl.find global out_name)
+                    rect
+              | _ -> ())
+          | Fx_out { rect; buf } -> (
+              match buf with
+              | Some b when not (Rect.is_empty rect) ->
+                  Dense.accumulate_into ~src:b ~dst:(Hashtbl.find global out_name)
+                    rect
+              | _ -> ()))
+        tr_fxs;
+      if tr_dyn_max > dyn_peak.(proc) then dyn_peak.(proc) <- tr_dyn_max)
+    results;
   (* {3 Timing assembly} *)
   (* Deterministic order throughout this phase: steps ascending, copy
      groups sorted by key within each step, processors ascending — so two
@@ -869,7 +1060,7 @@ let execute ?(mode = Full) ?(coalesce = true) ?trace ?profile spec ~data =
      off the flat per-step accumulators; no (step, proc) hashing. *)
   let h_step_time = Metrics.histogram reg "exec.step_time" in
   let start = ref 0.0 in
-  let tasks_per_proc = Ints.ceil_div (List.length points) nprocs in
+  let tasks_per_proc = Ints.ceil_div npoints nprocs in
   let overhead = float_of_int tasks_per_proc *. cost.Cost.task_overhead in
   start := overhead;
   (* Per-step planned copy groups, kept for profile emission below. *)
@@ -883,6 +1074,7 @@ let execute ?(mode = Full) ?(coalesce = true) ?trace ?profile spec ~data =
         (* Communication planning: merge this step's raw fragments into
            block transfers (or keep them one-per-piece when coalescing is
            disabled), then bundle identical payloads into broadcasts. *)
+        let t_plan = Pool.now () in
         let plan =
           if coalesce then Comm_plan.coalesce a.raws
           else Comm_plan.uncoalesced a.raws
@@ -896,6 +1088,7 @@ let execute ?(mode = Full) ?(coalesce = true) ?trace ?profile spec ~data =
         let bytes, messages =
           price_groups cost ~send:a.send ~recv:a.recv ~mtouch:a.mtouch glist
         in
+        Metrics.inc m_plan_host (Pool.now () -. t_plan);
         let bytes = ref bytes and messages = ref messages in
         total_fragments :=
           !total_fragments

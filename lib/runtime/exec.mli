@@ -55,6 +55,8 @@ val trace_to_string : trace_event -> string
 val execute :
   ?mode:mode ->
   ?coalesce:bool ->
+  ?domains:int ->
+  ?staged:bool ->
   ?trace:trace_event list ref ->
   ?profile:Distal_obs.Profile.t ->
   spec ->
@@ -71,6 +73,22 @@ val execute :
     traces and byte totals are unchanged; message counts, copy-group
     structure and charged times reflect the merged plan. Pass [false] to
     price every fragment as its own message (the pre-planning model).
+
+    [domains] sets the host domain-pool size used to probe the launch's
+    independent tasks concurrently (default: [DISTAL_NUM_DOMAINS], else
+    the available cores). Determinism contract: results, copy traces,
+    stats and Full-mode event streams are byte-identical for every domain
+    count — tasks record deferred effects that are merged in launch-point
+    order after the pool joins — and simulated time never depends on host
+    parallelism. The host-side probe wall clock and pool utilization are
+    reported as [exec.compute_wall_s] / [exec.pool_domains] /
+    [exec.pool_utilization] gauges.
+
+    [staged] (default: on, unless [DISTAL_STAGE=0]) compiles the
+    statement's scalar leaf loop once per execution into flat strided
+    loops ({!Distal_ir.Expr_stage}); shapes that cannot be staged fall
+    back to the generic [Expr.eval] loop. Staged and generic execution are
+    bit-identical.
 
     With [profile], the execution registers itself as a run of the profile
     and emits structured observability data: per-step compute/comm spans

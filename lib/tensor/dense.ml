@@ -28,6 +28,7 @@ let get t coord = t.data.(offset t coord)
 let set t coord v = t.data.(offset t coord) <- v
 let add_at t coord v = t.data.(offset t coord) <- t.data.(offset t coord) +. v
 let fill t v = Array.fill t.data 0 (Array.length t.data) v
+let unsafe_data t = t.data
 let get_lin t i = t.data.(i)
 let set_lin t i v = t.data.(i) <- v
 let add_lin t i v = t.data.(i) <- t.data.(i) +. v

@@ -26,6 +26,11 @@ val fill : t -> float -> unit
 val get_lin : t -> int -> float
 (** Access by row-major linear offset (used by leaf kernels). *)
 
+val unsafe_data : t -> float array
+(** The backing row-major element array, unguarded. For staged leaf
+    evaluators that precompute linear offsets; everything else should go
+    through the checked accessors. *)
+
 val set_lin : t -> int -> float -> unit
 val add_lin : t -> int -> float -> unit
 

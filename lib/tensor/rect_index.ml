@@ -1,11 +1,17 @@
+(* Per-query scratch: visited stamps per tile id. Stamps are monotonic per
+   cursor, so one cursor can serve queries against any number of indexes —
+   a stale stamp left by another index can never equal a fresh one. *)
+type cursor = { mutable seen : int array; mutable stamp : int }
+
+let cursor () = { seen = [||]; stamp = 0 }
+
 type 'a t = {
   entries : (Rect.t * 'a) array;
   dims : int;
   cuts : int array array;  (* per dim: sorted distinct tile boundaries *)
   buckets : int array array array;  (* per dim: slab -> tile ids, ascending *)
   prefix : int array array;  (* per dim: prefix sums of bucket sizes *)
-  last_seen : int array;  (* per-query visited stamps, one per tile *)
-  mutable stamp : int;
+  default_cursor : cursor;  (* used when the caller doesn't pass one *)
 }
 
 (* Index of the first element >= x in a sorted array. *)
@@ -74,7 +80,7 @@ let build tile_list =
         p)
       buckets
   in
-  { entries; dims; cuts; buckets; prefix; last_seen = Array.make n (-1); stamp = 0 }
+  { entries; dims; cuts; buckets; prefix; default_cursor = cursor () }
 
 let length t = Array.length t.entries
 let tiles t = Array.to_list t.entries
@@ -90,7 +96,7 @@ let slab_range t d lo hi =
     let a = max 0 (upper_bound cuts lo - 1) in
     if a >= b then None else Some (a, b)
 
-let query t (rect : Rect.t) =
+let query ?cursor:cur t (rect : Rect.t) =
   let n = Array.length t.entries in
   if n = 0 || Rect.is_empty rect then []
   else if t.dims = 0 then
@@ -121,12 +127,18 @@ let query t (rect : Rect.t) =
            order without sorting the (possibly tens of thousands of)
            candidates. Non-overlapping candidates are rejected with scalar
            compares before allocating the intersection. *)
-        t.stamp <- t.stamp + 1;
+        let c = match cur with Some c -> c | None -> t.default_cursor in
+        if Array.length c.seen < n then begin
+          c.seen <- Array.make (max n (2 * Array.length c.seen)) (-1);
+          c.stamp <- 0
+        end;
+        c.stamp <- c.stamp + 1;
+        let seen = c.seen and stamp = c.stamp in
         let min_id = ref max_int and max_id = ref (-1) in
         for s = a to b - 1 do
           Array.iter
             (fun id ->
-              t.last_seen.(id) <- t.stamp;
+              seen.(id) <- stamp;
               if id < !min_id then min_id := id;
               if id > !max_id then max_id := id)
             t.buckets.(d).(s)
@@ -140,7 +152,7 @@ let query t (rect : Rect.t) =
         in
         let acc = ref [] in
         for id = !max_id downto !min_id do
-          if t.last_seen.(id) = t.stamp then begin
+          if seen.(id) = stamp then begin
             let r, v = t.entries.(id) in
             if overlaps r then begin
               let piece = Rect.inter rect r in

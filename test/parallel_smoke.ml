@@ -1,0 +1,77 @@
+(* Domain-count independence smoke check, run by the runtest rules under
+   both DISTAL_NUM_DOMAINS=1 and DISTAL_NUM_DOMAINS=3 (see test/dune):
+   whatever pool size the environment selects, a run must produce exactly
+   the bytes of an explicit single-domain run. The alcotest suite checks
+   the same contract property-style; this binary checks it under the
+   environment variable path, which the suite cannot vary per-process. *)
+
+module Api = Distal.Api
+module Machine = Api.Machine
+module Dense = Api.Dense
+module Exec = Api.Exec
+module Stats = Api.Stats
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("parallel_smoke: " ^ s); exit 1) fmt
+
+let gemm_plan () =
+  let machine = Machine.grid [| 2; 2 |] in
+  let n = 12 in
+  let p =
+    Api.problem_exn ~machine ~stmt:"A(i,j) = B(i,k) * C(k,j)"
+      ~tensors:
+        [
+          Api.tensor "A" [| n; n |] ~dist:"[x,y] -> [x,y]";
+          Api.tensor "B" [| n; n |] ~dist:"[x,y] -> [x%1,y%1]";
+          Api.tensor "C" [| n; n |] ~dist:"[x,y] -> [x%1,y%1]";
+        ]
+      ()
+  in
+  Api.compile_script_exn p
+    ~schedule:
+      "distribute_onto({i,j}, {io,jo}, {ii,ji}, [2,2]); split(k, ko, ki, 3);\n\
+       reorder(ko, ii, ji, ki); communicate(A, jo); communicate({B,C}, ko)"
+
+let reduction_plan () =
+  let machine = Machine.grid [| 4 |] in
+  let n = 16 in
+  let p =
+    Api.problem_exn ~machine ~stmt:"A(i,j) = B(i,k) * C(k,j)"
+      ~tensors:
+        [
+          Api.tensor "A" [| n; n |] ~dist:"[x,y] -> [0]";
+          Api.tensor "B" [| n; n |] ~dist:"[x,y] -> [x%2]";
+          Api.tensor "C" [| n; n |] ~dist:"[x,y] -> [y%2]";
+        ]
+      ()
+  in
+  Api.compile_script_exn p
+    ~schedule:
+      "divide(k, ko, ki, 4); reorder(ko, i, j, ki); distribute(ko);\n\
+       communicate({A,B,C}, ko)"
+
+let observe ?domains plan ~data =
+  let trace = ref [] in
+  let r = Api.run_exn ~mode:Exec.Full ?domains ~trace plan ~data in
+  let bits =
+    match r.Exec.output with
+    | None -> fail "run produced no output"
+    | Some out ->
+        List.init (Dense.size out) (fun i -> Int64.bits_of_float (Dense.get_lin out i))
+  in
+  (bits, List.map Exec.trace_to_string !trace, Stats.to_string r.Exec.stats)
+
+let check name plan =
+  let data = Api.random_inputs plan in
+  let bits1, trace1, stats1 = observe ~domains:1 plan ~data in
+  let bits, tr, stats = observe plan ~data in
+  if bits <> bits1 then fail "%s: output differs from the single-domain run" name;
+  if tr <> trace1 then fail "%s: copy trace differs from the single-domain run" name;
+  if not (String.equal stats stats1) then
+    fail "%s: stats differ from the single-domain run:\n%s\nvs\n%s" name stats1 stats
+
+let () =
+  check "grid gemm" (gemm_plan ());
+  check "distributed reduction" (reduction_plan ());
+  Printf.printf "parallel smoke ok (DISTAL_NUM_DOMAINS=%s, pool size %d)\n"
+    (Option.value (Sys.getenv_opt "DISTAL_NUM_DOMAINS") ~default:"unset")
+    (Distal_support.Pool.default_size ())
