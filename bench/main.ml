@@ -428,6 +428,50 @@ let simperf_run ~small () =
         ("leaf.unstaged_wall_s", leaf_generic, "s");
         ("leaf.stage_speedup", leaf_speedup, "x");
       ];
+  (* Resilience (lib/fault), on simulated time so the row is
+     config-independent: an empty fault plan with checkpointing off must
+     charge exactly zero extra simulated seconds (validate_bench gates
+     [fault.nocheckpoint_overhead] on literal 0.0 — the fault machinery
+     may not perturb fault-free runs), while a mid-run kill with
+     checkpointing prices one detect + restore + replay episode whose
+     slowdown factor is the reported recovery overhead. *)
+  let fplan = simperf_gemm ~n:64 ~grid:4 ~chunks:8 in
+  let base_stats = Api.estimate fplan in
+  let empty_stats =
+    match
+      Api.run ~mode:Api.Exec.Model ~faults:(Api.Fault.plan ()) fplan ~data:[]
+    with
+    | Ok r -> r.Api.Exec.stats
+    | Error e -> failwith ("simperf fault run failed: " ^ e)
+  in
+  let nocheckpoint_overhead =
+    empty_stats.Api.Stats.time -. base_stats.Api.Stats.time
+  in
+  let faults =
+    Api.Fault.plan ~checkpoint:true
+      ~kills:[ Api.Fault.kill ~proc:1 ~step:4 () ]
+      ()
+  in
+  let _, faulted_stats, _ = Api.resilience_exn ~faults fplan in
+  let recovery_overhead =
+    if base_stats.Api.Stats.time > 0.0 then
+      faulted_stats.Api.Stats.time /. base_stats.Api.Stats.time
+    else 0.0
+  in
+  Distal_support.Table.add_row table
+    [
+      "fault (kill+ckpt vs clean)";
+      Printf.sprintf "%.3f ms" (faulted_stats.Api.Stats.time *. 1e3);
+      Printf.sprintf "%.3f ms" (base_stats.Api.Stats.time *. 1e3);
+      Printf.sprintf "%.1fx" recovery_overhead;
+      "-"; "-"; "-"; "-"; "-";
+    ];
+  metrics :=
+    !metrics
+    @ [
+        ("fault.nocheckpoint_overhead", nocheckpoint_overhead, "s");
+        ("fault.recovery_overhead", recovery_overhead, "x");
+      ];
   Distal_support.Table.print table;
   let json =
     Json.Obj

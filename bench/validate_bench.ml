@@ -120,12 +120,18 @@ let check_trace ~file j events =
 
 (* Communication planning must never lose to not planning, on any
    workload: a [*.coalesce_speedup] below 1.0 means the planner spent
-   more time merging fragments than the merged plan saved. *)
+   more time merging fragments than the merged plan saved. Similarly a
+   fault-free run with checkpointing off must be indistinguishable from
+   the plain executor — a nonzero [*.nocheckpoint_overhead] means the
+   fault machinery leaked simulated time into runs that opted out. *)
 let check_speedups () =
   List.iter
     (fun (name, v) ->
       if String.ends_with ~suffix:".coalesce_speedup" name && v < 1.0 then
-        fail "%s is %.3fx: communication planning slower than no planning" name v)
+        fail "%s is %.3fx: communication planning slower than no planning" name v;
+      if String.ends_with ~suffix:".nocheckpoint_overhead" name && v <> 0.0 then
+        fail "%s is %g s: fault-free run without checkpointing must cost exactly 0"
+          name v)
     !seen_metrics
 
 let check file =
@@ -199,12 +205,10 @@ let () =
   | _ :: (_ :: _ as args) ->
       let baseline, tolerance, files = parse None 2.0 [] args in
       let tolerance =
-        match Sys.getenv_opt "DISTAL_BENCH_TOLERANCE" with
-        | None | Some "" -> tolerance
-        | Some s -> (
-            match float_of_string_opt s with
-            | Some t when t > 0.0 -> t
-            | _ -> fail "DISTAL_BENCH_TOLERANCE must be a positive number, got %S" s)
+        match Distal_support.Env.float_var "DISTAL_BENCH_TOLERANCE" with
+        | Some t when t > 0.0 -> t
+        | Some t -> fail "DISTAL_BENCH_TOLERANCE must be positive, got %g" t
+        | None -> tolerance
       in
       if files = [] then fail "no files to validate";
       List.iter check files;

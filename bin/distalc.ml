@@ -42,7 +42,7 @@ let parse_tensor_decl s =
   | _ -> errf "bad tensor declaration %S (expected name:dims:dist)" s
 
 let run_pipeline ~machine_dims ~gpu ~tensors ~stmt ~schedule ~validate ~estimate ~quiet
-    ~emit_legion ~profile_out =
+    ~emit_legion ~profile_out ~faults =
   let profile = Option.map (fun _ -> Obs.Profile.create ()) profile_out in
   let* machine_dims = parse_dims machine_dims in
   let kind = if gpu then Machine.Gpu else Machine.Cpu in
@@ -75,6 +75,15 @@ let run_pipeline ~machine_dims ~gpu ~tensors ~stmt ~schedule ~validate ~estimate
     Printf.printf "estimate: %.2f GFLOP/s across %d processors\n" (Stats.gflops s)
       (Machine.num_procs machine)
   end;
+  let* () =
+    match faults with
+    | None -> Ok ()
+    | Some spec ->
+        let* fplan = Api.Fault.parse spec in
+        let* _, _, report = Api.resilience ~faults:fplan plan in
+        print_string report;
+        Ok ()
+  in
   match (profile, profile_out) with
   | Some p, Some file ->
       (* The trace needs a run to be interesting; profile implies a modeled
@@ -133,13 +142,23 @@ let profile_arg =
                trace_event JSON to $(docv) (loadable at https://ui.perfetto.dev) \
                and print the per-step and critical-path report.")
 
+let faults_arg =
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PLAN"
+         ~doc:"Model the schedule under a fault plan and print the resilience \
+               report (fault-free vs. faulted). Semicolon-separated clauses: \
+               'checkpoint' or 'checkpoint=N' (rollback boundary every N steps), \
+               'kill(proc=P, step=K)' optionally with 'revive=R', \
+               'drop(tensor=T, src=S, dst=D, step=K)' and \
+               'delay(by=SECONDS, ...)' with the same optional message filters. \
+               Example: 'checkpoint=2; kill(proc=1, step=3)'.")
+
 let cmd =
   let doc = "compile tensor index notation to a distributed task program" in
   let run machine_dims gpu tensors stmt schedule validate estimate quiet emit_legion
-      profile_out =
+      profile_out faults =
     match
       run_pipeline ~machine_dims ~gpu ~tensors ~stmt ~schedule ~validate ~estimate
-        ~quiet ~emit_legion ~profile_out
+        ~quiet ~emit_legion ~profile_out ~faults
     with
     | Ok () -> `Ok ()
     | Error e -> `Error (false, e)
@@ -149,6 +168,7 @@ let cmd =
     Term.(
       ret
         (const run $ machine_arg $ gpu_arg $ tensor_arg $ stmt_arg $ schedule_arg
-       $ validate_arg $ estimate_arg $ quiet_arg $ emit_legion_arg $ profile_arg))
+       $ validate_arg $ estimate_arg $ quiet_arg $ emit_legion_arg $ profile_arg
+       $ faults_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -13,6 +13,7 @@ module Stats = Distal_runtime.Stats
 module Exec = Distal_runtime.Exec
 module Rng = Distal_support.Rng
 module Obs = Distal_obs
+module Fault = Distal_fault.Fault
 
 (* Wall-clock span around one compiler phase, when a profile is given. *)
 let phase profile name f =
@@ -110,17 +111,41 @@ let spec ?cost plan =
     virtual_grid = plan.problem.virtual_grid;
   }
 
-let run ?mode ?coalesce ?domains ?staged ?cost ?trace ?profile plan ~data =
-  Exec.execute ?mode ?coalesce ?domains ?staged ?trace ?profile (spec ?cost plan)
-    ~data
+let run ?mode ?coalesce ?domains ?staged ?cost ?trace ?profile ?faults plan
+    ~data =
+  Exec.execute ?mode ?coalesce ?domains ?staged ?trace ?profile ?faults
+    (spec ?cost plan) ~data
 
-let run_exn ?mode ?coalesce ?domains ?staged ?cost ?trace ?profile plan ~data =
-  or_invalid (run ?mode ?coalesce ?domains ?staged ?cost ?trace ?profile plan ~data)
+let run_exn ?mode ?coalesce ?domains ?staged ?cost ?trace ?profile ?faults plan
+    ~data =
+  or_invalid
+    (run ?mode ?coalesce ?domains ?staged ?cost ?trace ?profile ?faults plan
+       ~data)
 
 let estimate ?cost ?profile plan =
   match Exec.execute ~mode:Exec.Model ?profile (spec ?cost plan) ~data:[] with
   | Ok r -> r.Exec.stats
   | Error e -> invalid_arg ("Api.estimate: " ^ e)
+
+let resilience ?cost ~faults plan =
+  let profile = Obs.Profile.create () in
+  Obs.Profile.set_next_run_name profile "fault-free";
+  let* baseline =
+    Exec.execute ~mode:Exec.Model ~profile (spec ?cost plan) ~data:[]
+  in
+  Obs.Profile.set_next_run_name profile "faulted";
+  let* faulted =
+    Exec.execute ~mode:Exec.Model ~profile ~faults (spec ?cost plan) ~data:[]
+  in
+  match Obs.Profile.runs profile with
+  | [ b; f ] ->
+      Ok
+        ( baseline.Exec.stats,
+          faulted.Exec.stats,
+          Obs.Report.resilience_report ~baseline:b ~faulty:f )
+  | runs -> errf "Api.resilience: expected 2 profile runs, got %d" (List.length runs)
+
+let resilience_exn ?cost ~faults plan = or_invalid (resilience ?cost ~faults plan)
 
 let random_inputs ?(seed = 42) plan =
   let rng = Rng.create seed in

@@ -30,6 +30,7 @@ module Schedule = Distal_ir.Schedule
 module Stats = Distal_runtime.Stats
 module Exec = Distal_runtime.Exec
 module Obs = Distal_obs
+module Fault = Distal_fault.Fault
 
 type tensor = { name : string; shape : int array; dist : Distnot.t }
 
@@ -97,6 +98,7 @@ val run :
   ?cost:Cost_model.t ->
   ?trace:Exec.trace_event list ref ->
   ?profile:Obs.Profile.t ->
+  ?faults:Fault.t ->
   plan ->
   data:(string * Dense.t) list ->
   (Exec.result, string) result
@@ -104,16 +106,30 @@ val run :
     emits spans, copy events, metrics and a step timeline; [coalesce]
     (default [true]) controls the communication-planning pass; [domains]
     the host domain-pool size and [staged] the compiled-leaf fast path —
-    neither affects results, traces, stats or event streams (see
-    {!Exec.execute}). *)
+    neither affects results, traces, stats or event streams; [faults]
+    injects a deterministic fault plan whose kills are recovered by
+    checkpoint/replay, bit-identically (see {!Exec.execute}). *)
 
 val run_exn :
   ?mode:Exec.mode -> ?coalesce:bool -> ?domains:int -> ?staged:bool ->
   ?cost:Cost_model.t -> ?trace:Exec.trace_event list ref ->
-  ?profile:Obs.Profile.t -> plan -> data:(string * Dense.t) list -> Exec.result
+  ?profile:Obs.Profile.t -> ?faults:Fault.t -> plan ->
+  data:(string * Dense.t) list -> Exec.result
 
 val estimate : ?cost:Cost_model.t -> ?profile:Obs.Profile.t -> plan -> Stats.t
 (** Performance-model-only execution ({!Exec.Model} mode). *)
+
+val resilience :
+  ?cost:Cost_model.t ->
+  faults:Fault.t ->
+  plan ->
+  (Stats.t * Stats.t * string, string) result
+(** Model-mode the plan twice — fault-free, then under [faults] — and
+    return both stats plus {!Obs.Report.resilience_report}'s side-by-side
+    rendering of the recovery overhead. *)
+
+val resilience_exn :
+  ?cost:Cost_model.t -> faults:Fault.t -> plan -> Stats.t * Stats.t * string
 
 val random_inputs : ?seed:int -> plan -> (string * Dense.t) list
 (** Deterministic random data for every tensor of the plan (including the

@@ -1,0 +1,44 @@
+module Rect = Distal_tensor.Rect
+
+type t = {
+  merge : Rect.t list -> Rect.t list;
+  raw : (int * int, Rect.t list ref) Hashtbl.t;  (* (step, proc) -> written rects *)
+  memo : (int * int, float) Hashtbl.t;  (* merged bytes per (step, proc) *)
+}
+
+let create ~merge = { merge; raw = Hashtbl.create 64; memo = Hashtbl.create 64 }
+
+let record t ~step ~proc r =
+  (match Hashtbl.find_opt t.raw (step, proc) with
+  | Some l -> l := r :: !l
+  | None -> Hashtbl.add t.raw (step, proc) (ref [ r ]));
+  Hashtbl.remove t.memo (step, proc)
+
+let bytes t ~step ~proc =
+  match Hashtbl.find_opt t.memo (step, proc) with
+  | Some b -> b
+  | None ->
+      let b =
+        match Hashtbl.find_opt t.raw (step, proc) with
+        | None -> 0.0
+        | Some l ->
+            List.fold_left
+              (fun acc r -> acc +. (8.0 *. float_of_int (Rect.volume r)))
+              0.0 (t.merge !l)
+      in
+      Hashtbl.add t.memo (step, proc) b;
+      b
+
+let range_bytes t ~from_step ~to_step ~proc =
+  let acc = ref 0.0 in
+  for s = from_step to to_step do
+    acc := !acc +. bytes t ~step:s ~proc
+  done;
+  !acc
+
+let total_bytes t =
+  Hashtbl.fold (fun (step, proc) _ acc -> acc +. bytes t ~step ~proc) t.raw 0.0
+
+let write_steps t =
+  Hashtbl.fold (fun (step, _) _ acc -> step :: acc) t.raw []
+  |> List.sort_uniq compare

@@ -1,0 +1,36 @@
+(** Checkpoint size accounting for the recovering executor.
+
+    Recovery only needs the state a replay would otherwise lack: the
+    region rectangles each processor {e writes} during a step (outputs
+    and reduction partials — inputs are immutable and survive with their
+    owners). The executor records those footprints here as it merges task
+    effects; rectangles are coalesced with the communication planner's
+    rectangle merger before being priced, so contiguous writes checkpoint
+    as one block and the checkpoint traffic stays proportional to live
+    state, not to fragment count.
+
+    This module only accounts {e bytes}; what the bytes cost is the cost
+    model's business ({!Distal_machine.Cost_model.checkpoint_time}). *)
+
+type t
+
+val create : merge:(Distal_tensor.Rect.t list -> Distal_tensor.Rect.t list) -> t
+(** [merge] coalesces recorded rectangles before volumes are taken
+    (the executor passes {!Distal_runtime.Comm_plan.merge_rects}). *)
+
+val record : t -> step:int -> proc:int -> Distal_tensor.Rect.t -> unit
+(** Add one written rectangle to the processor's snapshot for the step. *)
+
+val bytes : t -> step:int -> proc:int -> float
+(** Merged bytes of one processor's snapshot for one step (8 bytes per
+    element); 0 when the processor wrote nothing that step. *)
+
+val range_bytes : t -> from_step:int -> to_step:int -> proc:int -> float
+(** Sum of {!bytes} over [from_step .. to_step] inclusive: what a rollback
+    to [from_step] must restore for this processor before replaying. *)
+
+val total_bytes : t -> float
+(** All checkpoint traffic of the run, across every step and processor. *)
+
+val write_steps : t -> int list
+(** The steps with at least one non-empty snapshot, ascending. *)

@@ -1,0 +1,244 @@
+module Rng = Distal_support.Rng
+
+type msg_action = Drop | Delay of float
+
+type msg_pred = {
+  tensor : string option;
+  src : int option;
+  dst : int option;
+  at_step : int option;
+}
+
+type kill = { proc : int; at_step : int; revive_at : int option }
+
+type t = {
+  kills : kill list;
+  messages : (msg_pred * msg_action) list;
+  checkpoint : bool;
+  interval : int;
+}
+
+let empty = { kills = []; messages = []; checkpoint = false; interval = 1 }
+let has_events t = t.kills <> [] || t.messages <> []
+let is_empty t = (not (has_events t)) && not t.checkpoint
+
+let plan ?(checkpoint = false) ?(interval = 1) ?(kills = []) ?(messages = []) () =
+  if interval < 1 then invalid_arg "Fault.plan: interval must be >= 1";
+  { kills; messages; checkpoint; interval }
+
+let kill ?revive_at ~proc ~step () = { proc; at_step = step; revive_at }
+
+let drop ?tensor ?src ?dst ?step () =
+  ({ tensor; src; dst; at_step = step }, Drop)
+
+let delay by ?tensor ?src ?dst ?step () =
+  ({ tensor; src; dst; at_step = step }, Delay by)
+
+let random_kill ~seed ~nprocs ~nsteps =
+  let rng = Rng.create seed in
+  let proc = Rng.int rng (max 1 nprocs) in
+  let step = Rng.int rng (max 1 nsteps) in
+  plan ~checkpoint:true ~kills:[ kill ~proc ~step () ] ()
+
+let validate t ~nprocs =
+  let ( let* ) = Result.bind in
+  let errf fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let* () =
+    if t.interval >= 1 then Ok ()
+    else errf "checkpoint interval must be >= 1, got %d" t.interval
+  in
+  let* () =
+    List.fold_left
+      (fun acc k ->
+        let* () = acc in
+        if k.proc < 0 || k.proc >= nprocs then
+          errf "kill: proc %d out of range [0, %d)" k.proc nprocs
+        else if k.at_step < 0 then errf "kill: step %d must be >= 0" k.at_step
+        else
+          match k.revive_at with
+          | Some r when r <= k.at_step ->
+              errf "kill(proc=%d): revive step %d must be after kill step %d"
+                k.proc r k.at_step
+          | _ -> Ok ())
+      (Ok ()) t.kills
+  in
+  List.fold_left
+    (fun acc (p, a) ->
+      let* () = acc in
+      let check_proc what = function
+        | Some q when q < 0 || q >= nprocs ->
+            errf "message fault: %s %d out of range [0, %d)" what q nprocs
+        | _ -> Ok ()
+      in
+      let* () = check_proc "src" p.src in
+      let* () = check_proc "dst" p.dst in
+      let* () =
+        match p.at_step with
+        | Some s when s < 0 -> errf "message fault: step %d must be >= 0" s
+        | _ -> Ok ()
+      in
+      match a with
+      | Delay d when (not (Float.is_finite d)) || d < 0.0 ->
+          errf "delay: %g seconds must be finite and >= 0" d
+      | _ -> Ok ())
+    (Ok ()) t.messages
+
+(* {2 Plan syntax} *)
+
+let pred_fields p =
+  List.filter_map
+    (fun x -> x)
+    [
+      Option.map (Printf.sprintf "tensor=%s") p.tensor;
+      Option.map (Printf.sprintf "src=%d") p.src;
+      Option.map (Printf.sprintf "dst=%d") p.dst;
+      Option.map (Printf.sprintf "step=%d") p.at_step;
+    ]
+
+let to_string t =
+  let clauses =
+    (if t.checkpoint then
+       [ (if t.interval = 1 then "checkpoint"
+          else Printf.sprintf "checkpoint=%d" t.interval) ]
+     else [])
+    @ List.map
+        (fun k ->
+          match k.revive_at with
+          | Some r ->
+              Printf.sprintf "kill(proc=%d, step=%d, revive=%d)" k.proc k.at_step r
+          | None -> Printf.sprintf "kill(proc=%d, step=%d)" k.proc k.at_step)
+        t.kills
+    @ List.map
+        (fun (p, a) ->
+          match a with
+          | Drop -> Printf.sprintf "drop(%s)" (String.concat ", " (pred_fields p))
+          | Delay d ->
+              Printf.sprintf "delay(%s)"
+                (String.concat ", " (Printf.sprintf "by=%g" d :: pred_fields p)))
+        t.messages
+  in
+  String.concat "; " clauses
+
+let parse s =
+  let ( let* ) = Result.bind in
+  let errf fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let int_field clause k v =
+    match int_of_string_opt v with
+    | Some n -> Ok n
+    | None -> errf "%s: %s wants an integer, got %S" clause k v
+  in
+  let float_field clause k v =
+    match float_of_string_opt v with
+    | Some f -> Ok f
+    | None -> errf "%s: %s wants a number, got %S" clause k v
+  in
+  (* "name(k=v, ...)" -> (name, [(k, v); ...]); "name" / "name=v" pass
+     through with zero / one anonymous binding. *)
+  let split_clause c =
+    match String.index_opt c '(' with
+    | None -> (
+        match String.index_opt c '=' with
+        | None -> Ok (String.trim c, [])
+        | Some i ->
+            Ok
+              ( String.trim (String.sub c 0 i),
+                [ ("", String.trim (String.sub c (i + 1) (String.length c - i - 1))) ]
+              ))
+    | Some i ->
+        let name = String.trim (String.sub c 0 i) in
+        let rest = String.trim (String.sub c (i + 1) (String.length c - i - 1)) in
+        if String.length rest = 0 || rest.[String.length rest - 1] <> ')' then
+          errf "%S: missing closing parenthesis" c
+        else
+          let body = String.sub rest 0 (String.length rest - 1) in
+          let args = String.split_on_char ',' body |> List.map String.trim in
+          let args = List.filter (fun a -> a <> "") args in
+          let* fields =
+            List.fold_left
+              (fun acc a ->
+                let* fields = acc in
+                match String.index_opt a '=' with
+                | None -> errf "%S: expected key=value, got %S" c a
+                | Some j ->
+                    let k = String.trim (String.sub a 0 j) in
+                    let v = String.trim (String.sub a (j + 1) (String.length a - j - 1)) in
+                    Ok ((k, v) :: fields))
+              (Ok []) args
+          in
+          Ok (name, List.rev fields)
+  in
+  let msg_pred clause ~extra fields =
+    List.fold_left
+      (fun acc (k, v) ->
+        let* p = acc in
+        match k with
+        | "tensor" -> Ok { p with tensor = Some v }
+        | "src" ->
+            let* n = int_field clause k v in
+            Ok { p with src = Some n }
+        | "dst" ->
+            let* n = int_field clause k v in
+            Ok { p with dst = Some n }
+        | "step" ->
+            let* n = int_field clause k v in
+            Ok { p with at_step = Some n }
+        | k when List.mem k extra -> Ok p
+        | k -> errf "%s: unknown field %S" clause k)
+      (Ok { tensor = None; src = None; dst = None; at_step = None })
+      (List.filter (fun (k, _) -> not (List.mem k extra)) fields)
+  in
+  let field fields k = List.assoc_opt k fields in
+  let clauses =
+    String.split_on_char ';' s |> List.map String.trim
+    |> List.filter (fun c -> c <> "")
+  in
+  let* parsed =
+    List.fold_left
+      (fun acc c ->
+        let* t = acc in
+        let* name, fields = split_clause c in
+        match name with
+        | "checkpoint" -> (
+            match fields with
+            | [] -> Ok { t with checkpoint = true }
+            | [ ("", v) ] ->
+                let* n = int_field "checkpoint" "interval" v in
+                if n < 1 then errf "checkpoint: interval must be >= 1, got %d" n
+                else Ok { t with checkpoint = true; interval = n }
+            | _ -> errf "checkpoint takes at most one interval, got %S" c)
+        | "kill" -> (
+            match (field fields "proc", field fields "step") with
+            | Some p, Some k ->
+                let* proc = int_field "kill" "proc" p in
+                let* at_step = int_field "kill" "step" k in
+                let* revive_at =
+                  match field fields "revive" with
+                  | None -> Ok None
+                  | Some r ->
+                      let* r = int_field "kill" "revive" r in
+                      Ok (Some r)
+                in
+                let* () =
+                  List.fold_left
+                    (fun acc (k, _) ->
+                      let* () = acc in
+                      if List.mem k [ "proc"; "step"; "revive" ] then Ok ()
+                      else errf "kill: unknown field %S" k)
+                    (Ok ()) fields
+                in
+                Ok { t with kills = t.kills @ [ { proc; at_step; revive_at } ] }
+            | _ -> errf "kill wants proc= and step=, got %S" c)
+        | "drop" ->
+            let* p = msg_pred "drop" ~extra:[] fields in
+            Ok { t with messages = t.messages @ [ (p, Drop) ] }
+        | "delay" -> (
+            match field fields "by" with
+            | None -> errf "delay wants by=SECONDS, got %S" c
+            | Some v ->
+                let* d = float_field "delay" "by" v in
+                let* p = msg_pred "delay" ~extra:[ "by" ] fields in
+                Ok { t with messages = t.messages @ [ (p, Delay d) ] })
+        | name -> errf "unknown fault clause %S (in %S)" name c)
+      (Ok empty) clauses
+  in
+  if is_empty parsed && clauses = [] then errf "empty fault plan %S" s else Ok parsed

@@ -73,6 +73,23 @@ let reduce_time t link ~bytes ~contributors =
     +. (2.0 *. (k -. 1.0) /. k *. bytes /. beta t link)
     +. (bytes /. t.mem_bw)
 
+(* {2 Fault tolerance}
+
+   Checkpoints are replica copies: a processor streams its step snapshot
+   to a buddy over the given link as one message, and a rollback streams
+   it back, so both are plain alpha-beta transfers. Failure detection is
+   a missed-heartbeat timeout — a couple of orders of magnitude above the
+   network latency, far below a step. A dropped message costs the sender
+   a retransmission timeout plus the full resend of the (possibly
+   strided) transfer. *)
+
+let checkpoint_time t link ~bytes = copy_time t link ~bytes
+let restore_time t link ~bytes = copy_time t link ~bytes
+let detect_time t = 100.0 *. t.alpha_inter
+
+let retransmit_time t link ~bytes ~fragments =
+  (10.0 *. alpha t link) +. strided_copy_time t link ~bytes ~fragments
+
 let compute_time t ~flops ~bytes_touched =
   max (flops /. t.compute_rate) (bytes_touched /. t.mem_bw)
 

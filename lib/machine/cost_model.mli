@@ -81,6 +81,27 @@ val reduce_time : t -> link -> bytes:float -> contributors:int -> float
 val compute_time : t -> flops:float -> bytes_touched:float -> float
 (** max(flops / compute_rate, bytes_touched / mem_bw). *)
 
+(** {2 Fault tolerance}
+
+    Pricing for the executor's checkpoint/replay recovery (see
+    [lib/fault]): checkpoints stream a processor's step snapshot to a
+    buddy replica as one message and rollbacks stream it back, so both
+    are alpha-beta copies over the buddy link. *)
+
+val checkpoint_time : t -> link -> bytes:float -> float
+(** Writing one processor's step snapshot to its replica. *)
+
+val restore_time : t -> link -> bytes:float -> float
+(** Reading a snapshot back from the replica during rollback. *)
+
+val detect_time : t -> float
+(** Noticing a dead processor: a missed-heartbeat timeout, modelled as
+    100x the inter-node message latency. *)
+
+val retransmit_time : t -> link -> bytes:float -> fragments:int -> float
+(** Recovering a dropped message: the sender's retransmission timeout
+    (10x the link latency) plus a full {!strided_copy_time} resend. *)
+
 val step_time : t -> compute:float -> comm:float -> float
 (** Combine one bulk-synchronous step's compute and communication time with
     the model's overlap factor: compute + max(0, comm - overlap * compute). *)

@@ -14,6 +14,7 @@ type timeline = {
   nprocs : int;
   overhead : float;
   reduction : float;
+  recovery : float;
   steps : step list;
   total : float;
 }
@@ -33,6 +34,7 @@ type t = {
   comm_time : float;
   overhead : float;
   reduction : float;
+  recovery : float;
   slack : (int * float) list;
   bottleneck : string;
 }
@@ -80,15 +82,26 @@ let analyse tl =
        ]
      else [])
     @ step_nodes
+    @ (if tl.reduction > 0.0 then
+         [
+           {
+             step = -1;
+             resource = "reduction";
+             compute = 0.0;
+             comm = tl.reduction;
+             cost = tl.reduction;
+           };
+         ]
+       else [])
     @
-    if tl.reduction > 0.0 then
+    if tl.recovery > 0.0 then
       [
         {
           step = -1;
-          resource = "reduction";
+          resource = "recovery";
           compute = 0.0;
-          comm = tl.reduction;
-          cost = tl.reduction;
+          comm = 0.0;
+          cost = tl.recovery;
         };
       ]
     else []
@@ -134,6 +147,7 @@ let analyse tl =
     comm_time;
     overhead = tl.overhead;
     reduction = tl.reduction;
+    recovery = tl.recovery;
     slack;
     bottleneck;
   }

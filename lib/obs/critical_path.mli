@@ -33,14 +33,19 @@ type timeline = {
   nprocs : int;
   overhead : float;  (** per-task launch overhead, charged up front *)
   reduction : float;  (** distributed-reduction epilogue *)
+  recovery : float;
+      (** fault detection + checkpoint restore + replay after injected
+          kills (see [lib/fault]); 0 on a fault-free run *)
   steps : step list;  (** ascending by [index] *)
-  total : float;  (** overhead + step costs + reduction = [Stats.time] *)
+  total : float;
+      (** overhead + step costs + reduction + recovery = [Stats.time] *)
 }
 
 (** One link of the critical path. *)
 type node = {
-  step : int;  (** step index; -1 for the overhead/reduction links *)
-  resource : string;  (** ["proc N"], ["fabric"], ["runtime"], ["reduction"] *)
+  step : int;  (** step index; -1 for the overhead/reduction/recovery links *)
+  resource : string;
+      (** ["proc N"], ["fabric"], ["runtime"], ["reduction"], ["recovery"] *)
   compute : float;  (** compute share of this link *)
   comm : float;  (** exposed communication share *)
   cost : float;  (** link duration = the step's charged cost *)
@@ -53,6 +58,7 @@ type t = {
   comm_time : float;  (** sum of exposed-communication shares *)
   overhead : float;
   reduction : float;
+  recovery : float;  (** fault-recovery share of the path; 0 when fault-free *)
   slack : (int * float) list;
       (** per processor: idle seconds across all steps (step cost minus the
           processor's busy time); ascending by processor, every processor

@@ -59,6 +59,10 @@ let critical_path_summary (cp : Cp.t) =
        cp.Cp.compute_time (pct cp.Cp.compute_time) cp.Cp.comm_time
        (pct cp.Cp.comm_time) cp.Cp.overhead (pct cp.Cp.overhead) cp.Cp.reduction
        (pct cp.Cp.reduction));
+  if cp.Cp.recovery > 0.0 then
+    Buffer.add_string buf
+      (Printf.sprintf "  fault recovery %.6g s (%.0f%%)\n" cp.Cp.recovery
+         (pct cp.Cp.recovery));
   let laziest =
     List.sort (fun (_, a) (_, b) -> compare b a) cp.Cp.slack |> fun l ->
     List.filteri (fun i _ -> i < 3) l
@@ -71,6 +75,46 @@ let critical_path_summary (cp : Cp.t) =
              (fun (p, s) -> Printf.sprintf "proc %d (%.3g s idle)" p s)
              laziest)
       ^ "\n");
+  Buffer.contents buf
+
+(* Compares the same schedule fault-free vs. under a fault plan: total
+   simulated time, the recovery breakdown, and what the checkpoint
+   machinery moved. Both runs come from the same [Profile.t] so the bench
+   harness and [distalc --faults] can export one trace holding both. *)
+let resilience_report ~(baseline : Profile.run) ~(faulty : Profile.run) =
+  let v (run : Profile.run) name =
+    Option.value (Metrics.value run.Profile.metrics name) ~default:0.0
+  in
+  let t0 = v baseline "exec.time" and t1 = v faulty "exec.time" in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "== resilience report ==\n";
+  let table = Table.create ~header:[ "run"; "time (s)"; "slowdown" ] in
+  Table.add_row table [ baseline.Profile.name; fsec t0; "1.00x" ];
+  Table.add_row table
+    [
+      faulty.Profile.name; fsec t1;
+      (if t0 > 0.0 then Printf.sprintf "%.2fx" (t1 /. t0) else "-");
+    ];
+  Buffer.add_string buf (Table.to_string table);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "faults injected: %.0f; steps replayed: %.0f; recovery %.6g s (%.1f%% \
+        of faulted run)\n"
+       (v faulty "exec.faults_injected")
+       (v faulty "exec.replayed_steps")
+       (v faulty "exec.recovery_time")
+       (if t1 > 0.0 then 100.0 *. v faulty "exec.recovery_time" /. t1 else 0.0));
+  let ckpt = v faulty "exec.checkpoint_bytes" in
+  if ckpt > 0.0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "checkpoints: %s written (%.6g s overlapped); %s restored\n"
+         (bytes_human ckpt)
+         (v faulty "exec.checkpoint_time")
+         (bytes_human (v faulty "exec.restore_bytes")))
+  else
+    Buffer.add_string buf
+      "checkpoints: off (recovery replays from the start of the run)\n";
   Buffer.contents buf
 
 let by_tensor_prefix = "exec.bytes_by_tensor."
@@ -161,6 +205,7 @@ let timeline_to_json (tl : Cp.timeline) =
       ("nprocs", Json.Int tl.Cp.nprocs);
       ("overhead", Json.Float tl.Cp.overhead);
       ("reduction", Json.Float tl.Cp.reduction);
+      ("recovery", Json.Float tl.Cp.recovery);
       ("total", Json.Float tl.Cp.total);
       ("steps", Json.List (List.map step_to_json tl.Cp.steps));
     ]
@@ -183,6 +228,7 @@ let critical_path_to_json (cp : Cp.t) =
       ("comm_time", Json.Float cp.Cp.comm_time);
       ("overhead", Json.Float cp.Cp.overhead);
       ("reduction", Json.Float cp.Cp.reduction);
+      ("recovery", Json.Float cp.Cp.recovery);
       ("bottleneck", Json.String cp.Cp.bottleneck);
       ("nodes", Json.List (List.map node_to_json cp.Cp.nodes));
       ( "slack",

@@ -24,6 +24,13 @@ val run_report : Profile.run -> string
 (** [step_table] + [critical_path_summary] + [traffic_by_tensor] + metric
     snapshot for one run. *)
 
+val resilience_report : baseline:Profile.run -> faulty:Profile.run -> string
+(** Side-by-side of the same schedule fault-free vs. under a fault plan
+    ([lib/fault]): simulated times and the slowdown factor, the faulted
+    run's recovery breakdown ([exec.faults_injected], [exec.replayed_steps],
+    [exec.recovery_time]) and the checkpoint traffic
+    ([exec.checkpoint_bytes] / [exec.restore_bytes]). *)
+
 val timeline_to_json : Critical_path.timeline -> Json.t
 val run_to_json : Profile.run -> Json.t
 val profile_to_json : Profile.t -> Json.t

@@ -1,5 +1,6 @@
 module Ints = Distal_support.Ints
 module Pool = Distal_support.Pool
+module Env = Distal_support.Env
 module Dense = Distal_tensor.Dense
 module Rect = Distal_tensor.Rect
 module Rect_index = Distal_tensor.Rect_index
@@ -13,6 +14,9 @@ module Bounds = Distal_ir.Bounds
 module Taskir = Distal_ir.Taskir
 module Distnot = Distal_ir.Distnot
 module Kernel_match = Distal_ir.Kernel_match
+module Fault = Distal_fault.Fault
+module Injector = Distal_fault.Injector
+module Checkpoint = Distal_fault.Checkpoint
 module Metrics = Distal_obs.Metrics
 module Profile = Distal_obs.Profile
 module Span = Distal_obs.Span
@@ -122,9 +126,9 @@ type fx =
       nfrag : int;
       volume : int;
     }
-  | Fx_red of { rect : Rect.t; buf : Dense.t option }
+  | Fx_red of { step : int; rect : Rect.t; buf : Dense.t option }
       (* reduction partial: register the contribution, add into the output *)
-  | Fx_out of { rect : Rect.t; buf : Dense.t option }
+  | Fx_out of { step : int; rect : Rect.t; buf : Dense.t option }
       (* owner-computes delta: add into the output (instances are
          zero-seeded, so tasks produce deltas and the merge accumulates) *)
 
@@ -284,8 +288,8 @@ let ops_per_point (stmt : Expr.stmt) =
   let c = count stmt.rhs + if Expr.reduction_vars stmt <> [] then 1 else 0 in
   max 1 c
 
-let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?trace ?profile spec
-    ~data =
+let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?trace ?profile
+    ?faults spec ~data =
   (* Register this execution as a run of the profile (its own pid, metrics
      registry and timeline slot). Without a profile the registry is private
      to this call; either way it is the single accumulator the final
@@ -395,6 +399,41 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?trace ?profile s
   let seq_dims = Array.of_list (List.map snd seqs) in
   let seq_strides = Ints.row_major_strides seq_dims in
   let nsteps = max 1 (Ints.prod seq_dims) in
+  (* {3 Fault plan resolution} *)
+  (* An absent or empty plan (no events, checkpointing off) takes the
+     identity path everywhere below: no injector, no checkpoint store, no
+     fault metrics — results, traces, stats and event streams are
+     byte-identical to an executor without fault support. *)
+  let fplan = match faults with Some f -> f | None -> Fault.empty in
+  let* inj =
+    if Fault.is_empty fplan then Ok None
+    else
+      match Injector.create fplan ~nprocs:nprocs_phys ~nsteps with
+      | Ok i -> Ok (Some i)
+      | Error e -> errf "invalid fault plan: %s" e
+  in
+  let checkpointing =
+    match inj with Some i -> Injector.checkpointing i | None -> false
+  in
+  let have_kills = match inj with Some i -> Injector.has_kills i | None -> false in
+  let have_msg_faults = inj <> None && fplan.Fault.messages <> [] in
+  (* Fault instruments exist only when a plan is active, so inactive runs
+     register nothing new. *)
+  let m_faults_injected, m_replayed_steps, m_ckpt_bytes, m_restore_bytes =
+    match inj with
+    | None -> (None, None, None, None)
+    | Some _ ->
+        ( Some (Metrics.counter reg "exec.faults_injected"),
+          Some (Metrics.counter reg "exec.replayed_steps"),
+          Some (Metrics.counter reg "exec.checkpoint_bytes"),
+          Some (Metrics.counter reg "exec.restore_bytes") )
+  in
+  let inc_opt m v = match m with Some m -> Metrics.inc m v | None -> () in
+  let inc_opt_int m v = match m with Some m -> Metrics.inc_int m v | None -> () in
+  let ckpt =
+    if checkpointing then Some (Checkpoint.create ~merge:Comm_plan.merge_rects)
+    else None
+  in
   (* Global backing stores. In owner-computes mode the output buffer is
      seeded from the global store, so for [=] statements the global output
      starts at zero; for [+=] it starts at the caller-provided value. *)
@@ -422,6 +461,23 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?trace ?profile s
     Array.init nprocs (fun p -> Machine.node_of machine (Machine.delinearize machine p))
   in
   let rack_of_lin = Array.map (fun n -> n / cost.Cost.rack_nodes) node_of_lin in
+  (* Placement under faults: effects landing on a processor that is dead
+     at their step execute on its failover target instead
+     ({!Mapper.fallback} — the next live linear processor, which also
+     holds the checkpoint replica). Transfers whose endpoints collapse to
+     the same processor after remapping become local and disappear.
+     Fault-free runs take the identity path. *)
+  let remap =
+    match inj with
+    | Some i when have_kills ->
+        fun ~step p ->
+          if Injector.dead i ~step ~proc:p then
+            Mapper.fallback ~nprocs
+              ~dead:(fun q -> Injector.dead i ~step ~proc:q)
+              p
+          else p
+    | _ -> fun ~step:_ p -> p
+  in
   (* Folding a virtual owner to a physical linear index needs no coordinate
      round-trip: delinearize and linearize on the same machine cancel. *)
   let lin_of_virtual =
@@ -651,10 +707,7 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?trace ?profile s
   let use_staged =
     match staged with
     | Some b -> b
-    | None -> (
-        match Sys.getenv_opt "DISTAL_STAGE" with
-        | Some s -> String.trim s <> "0"
-        | None -> true)
+    | None -> Env.bool_var ~default:true "DISTAL_STAGE"
   in
   let staged_plan =
     if mode = Full && use_staged then begin
@@ -734,9 +787,9 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?trace ?profile s
           end)
         (plan_of tn rect)
     in
-    let flush_output rect buf =
-      let step = step_of () in
-      if reduction then emit (Fx_red { rect; buf })
+    let flush_output ?step rect buf =
+      let step = match step with Some s -> s | None -> step_of () in
+      if reduction then emit (Fx_red { step; rect; buf })
       else begin
         if not (proc_owns out_name rect) then
           (* Owner-computes with a remote owner: ship the tile home. *)
@@ -757,7 +810,7 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?trace ?profile s
                        volume = Rect.volume piece;
                      }))
             (pieces_of out_name rect);
-        emit (Fx_out { rect; buf })
+        emit (Fx_out { step; rect; buf })
       end
     in
     let ensure tn =
@@ -972,9 +1025,12 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?trace ?profile s
       | Taskir.Leaf leaf -> exec_leaf leaf
     in
     walk prog.tree;
-    (* Flush the cached output instance (write-back or reduction). *)
+    (* Flush the cached output instance (write-back or reduction). The
+       sequential loop vars are gone by now, so attribute the flush to the
+       final step explicitly — it is the step whose end produced this
+       state (matters only to fault remapping and checkpoints). *)
     (match Hashtbl.find_opt cache out_name with
-    | Some (r, buf, _) -> flush_output r buf
+    | Some (r, buf, _) -> flush_output ~step:(nsteps - 1) r buf
     | None -> ());
     { tr_proc = proc; tr_fxs = List.rev !fxs; tr_dyn_max = !dyn_max }
   in
@@ -1017,6 +1073,23 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?trace ?profile s
     (if compute_wall > 0.0 then
        Array.fold_left ( +. ) 0.0 lane_busy /. (float_of_int lanes *. compute_wall)
      else 1.0);
+  (* {3 Replay after kills} *)
+  (* A killed processor loses its in-flight task state, so every launch
+     point it was executing is re-probed from scratch — [run_task] is
+     deterministic, so the replayed effects (and thus the final output)
+     are exactly the originals, and the merge below charges them to the
+     failover processor via [remap]. The simulated cost of this replay is
+     priced in the recovery epilogue. *)
+  (match inj with
+  | Some i when have_kills ->
+      let fmemo, pieces_of, plan_of = make_lane_ctx () in
+      Array.iteri
+        (fun idx r ->
+          let proc = (Option.get r).tr_proc in
+          if Injector.ever_dead i ~proc then
+            results.(idx) <- Some (run_task ~fmemo ~pieces_of ~plan_of points.(idx)))
+        results
+  | _ -> ());
   (* Replay every task's deferred effects in launch-point order: metrics,
      traces, step accumulators, reduction bookkeeping and the global output
      observe exactly the sequence a serial execution produces. *)
@@ -1027,23 +1100,39 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?trace ?profile s
       List.iter
         (fun e ->
           match e with
-          | Fx_compute { step; flops; bytes } -> add_compute ~step ~proc ~flops ~bytes
+          | Fx_compute { step; flops; bytes } ->
+              add_compute ~step ~proc:(remap ~step proc) ~flops ~bytes
           | Fx_batch { step; tensor; src; dst; pieces; merged; nfrag; volume } ->
-              add_batch ~step ~tensor ~src ~dst ~pieces ~merged ~nfrag ~volume
-          | Fx_red { rect; buf } -> (
+              let src = remap ~step src and dst = remap ~step dst in
+              if src <> dst then
+                add_batch ~step ~tensor ~src ~dst ~pieces ~merged ~nfrag ~volume
+          | Fx_red { step; rect; buf } -> (
+              let rproc = remap ~step proc in
+              (match ckpt with
+              | Some c when not (Rect.is_empty rect) ->
+                  Checkpoint.record c ~step ~proc:rproc rect
+              | _ -> ());
               (match Hashtbl.find_opt red_contribs (Rect.to_string rect) with
               | Some (b, procs) ->
-                  Hashtbl.replace red_contribs (Rect.to_string rect)
-                    (b, proc :: procs)
+                  (* Under kills, remapping can fold two contributors onto
+                     one survivor; count it once. Fault-free, keep every
+                     contribution exactly as before. *)
+                  if not (have_kills && List.mem rproc procs) then
+                    Hashtbl.replace red_contribs (Rect.to_string rect)
+                      (b, rproc :: procs)
               | None ->
                   Hashtbl.add red_contribs (Rect.to_string rect)
-                    (bytes_of_rect rect, [ proc ]));
+                    (bytes_of_rect rect, [ rproc ]));
               match buf with
               | Some b when not (Rect.is_empty rect) ->
                   Dense.accumulate_into ~src:b ~dst:(Hashtbl.find global out_name)
                     rect
               | _ -> ())
-          | Fx_out { rect; buf } -> (
+          | Fx_out { step; rect; buf } -> (
+              (match ckpt with
+              | Some c when not (Rect.is_empty rect) ->
+                  Checkpoint.record c ~step ~proc:(remap ~step proc) rect
+              | _ -> ());
               match buf with
               | Some b when not (Rect.is_empty rect) ->
                   Dense.accumulate_into ~src:b ~dst:(Hashtbl.find global out_name)
@@ -1089,6 +1178,38 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?trace ?profile s
           price_groups cost ~send:a.send ~recv:a.recv ~mtouch:a.mtouch glist
         in
         Metrics.inc m_plan_host (Pool.now () -. t_plan);
+        (* Message faults: a matched drop costs its endpoints a
+           retransmission (timeout + full resend), a matched delay holds
+           the receiver back. Payload byte/message counts are untouched —
+           the data still arrives, late. Purely plan-driven, so Full and
+           Model mode price faults identically. *)
+        if have_msg_faults then begin
+          let i = Option.get inj in
+          List.iter
+            (fun g ->
+              List.iter
+                (fun (dst, link) ->
+                  match
+                    Injector.msg_action i ~step ~tensor:g.tensor ~src:g.src ~dst
+                  with
+                  | Some Fault.Drop ->
+                      inc_opt_int m_faults_injected 1;
+                      let t =
+                        Cost.retransmit_time cost link ~bytes:g.bytes
+                          ~fragments:g.fragments
+                      in
+                      a.send.(g.src) <- a.send.(g.src) +. t;
+                      a.recv.(dst) <- a.recv.(dst) +. t;
+                      a.mtouch.(g.src) <- true;
+                      a.mtouch.(dst) <- true
+                  | Some (Fault.Delay d) ->
+                      inc_opt_int m_faults_injected 1;
+                      a.recv.(dst) <- a.recv.(dst) +. d;
+                      a.mtouch.(dst) <- true
+                  | None -> ())
+                g.receivers)
+            glist
+        end;
         let bytes = ref bytes and messages = ref messages in
         total_fragments :=
           !total_fragments
@@ -1169,7 +1290,91 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?trace ?profile s
            end)
          0.0
   in
-  let total_time = overhead +. time +. red_time in
+  (* {3 Recovery epilogue} *)
+  (* Each kill is an independent recovery episode: the failure is
+     detected (a heartbeat timeout), every processor rolls back to the
+     last checkpoint boundary — restoring from its buddy replica the
+     snapshots the replayed steps will rewrite — and the steps from the
+     boundary through the kill step are replayed at their assembled cost.
+     Without checkpointing the rollback is a restart: replay from step 0
+     with nothing to restore. The simulated clock pays for all of it;
+     checkpoint *writes* are assumed overlapped with the run (their
+     modeled cost is reported as [exec.checkpoint_time], never added to
+     [exec.time]), which keeps fault-free runs with checkpointing on
+     byte-identical to plain runs. *)
+  let buddy_link q =
+    let b = (q + 1) mod nprocs in
+    if node_of_lin.(q) = node_of_lin.(b) then Cost.Intra else Cost.Inter
+  in
+  (* (proc, kill step, replay-from, detect, restore, replay) per kill,
+     in strike order — the profile emission below walks the same list. *)
+  let episodes =
+    match inj with
+    | Some i when have_kills ->
+        let row_cost = Array.make nsteps 0.0 in
+        List.iter
+          (fun (r : Cp.step) -> row_cost.(r.Cp.index) <- r.Cp.cost)
+          step_rows;
+        List.map
+          (fun (proc, k) ->
+            inc_opt_int m_faults_injected 1;
+            let b = Injector.last_boundary i ~step:k in
+            inc_opt_int m_replayed_steps (k - b + 1);
+            let replay = ref 0.0 in
+            for s = b to k do
+              replay := !replay +. row_cost.(s)
+            done;
+            let restore =
+              match ckpt with
+              | Some c ->
+                  let worst = ref 0.0 in
+                  for q = 0 to nprocs - 1 do
+                    let bytes =
+                      Checkpoint.range_bytes c ~from_step:b ~to_step:k ~proc:q
+                    in
+                    if bytes > 0.0 then begin
+                      inc_opt m_restore_bytes bytes;
+                      let t = Cost.restore_time cost (buddy_link q) ~bytes in
+                      if t > !worst then worst := t
+                    end
+                  done;
+                  !worst
+              | None -> 0.0
+            in
+            (proc, k, b, Cost.detect_time cost, restore, !replay))
+          (Injector.kills i)
+    | _ -> []
+  in
+  let recovery_time =
+    List.fold_left
+      (fun acc (_, _, _, detect, restore, replay) ->
+        acc +. detect +. restore +. replay)
+      0.0 episodes
+  in
+  (match ckpt with
+  | Some c ->
+      inc_opt m_ckpt_bytes (Checkpoint.total_bytes c);
+      (* Modeled cost of streaming every step snapshot to its buddy:
+         informational only (see above). *)
+      let wtime =
+        List.fold_left
+          (fun acc s ->
+            let worst = ref 0.0 in
+            for q = 0 to nprocs - 1 do
+              let bytes = Checkpoint.bytes c ~step:s ~proc:q in
+              if bytes > 0.0 then begin
+                let t = Cost.checkpoint_time cost (buddy_link q) ~bytes in
+                if t > !worst then worst := t
+              end
+            done;
+            acc +. !worst)
+          0.0 (Checkpoint.write_steps c)
+      in
+      Metrics.set (Metrics.gauge reg "exec.checkpoint_time") wtime
+  | None -> ());
+  if inj <> None then
+    Metrics.set (Metrics.gauge reg "exec.recovery_time") recovery_time;
+  let total_time = overhead +. time +. red_time +. recovery_time in
   Metrics.set (Metrics.gauge reg "exec.time") total_time;
   Metrics.set (Metrics.gauge reg "exec.steps") (float_of_int nsteps);
   Metrics.set (Metrics.gauge reg "exec.overhead_time") overhead;
@@ -1251,12 +1456,47 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?trace ?profile s
       if red_time > 0.0 then
         Span.complete sink ~name:"distributed reduction" ~cat:"reduction" ~pid ~tid:rt
           ~ts:(overhead +. time) ~dur:red_time ();
+      (* Fault lanes: a kill instant on the victim's own track at the step
+         it strikes, and one recovery span per episode (detect + restore +
+         replay) chained after the reduction epilogue. Only emitted when a
+         kill actually strikes, so fault-free event streams are untouched. *)
+      if episodes <> [] then begin
+        let start_of k =
+          match List.find_opt (fun (r : Cp.step) -> r.Cp.index = k) step_rows with
+          | Some r -> r.Cp.start
+          | None -> overhead
+        in
+        let cursor = ref (overhead +. time +. red_time) in
+        List.iter
+          (fun (proc, k, b, detect, restore, replay) ->
+            Span.instant sink
+              ~name:(Printf.sprintf "kill proc %d" proc)
+              ~cat:"fault" ~pid ~tid:proc ~ts:(start_of k)
+              ~attrs:[ ("step", Event.Int k) ]
+              ();
+            let dur = detect +. restore +. replay in
+            Span.complete sink
+              ~name:(Printf.sprintf "recover proc %d: replay steps %d..%d" proc b k)
+              ~cat:"fault" ~pid ~tid:rt ~ts:!cursor ~dur
+              ~attrs:
+                [
+                  ("detect", Event.Float detect);
+                  ("restore", Event.Float restore);
+                  ("replay", Event.Float replay);
+                  ("from_step", Event.Int b);
+                  ("kill_step", Event.Int k);
+                ]
+              ();
+            cursor := !cursor +. dur)
+          episodes
+      end;
       run.Profile.timeline <-
         Some
           {
             Cp.nprocs;
             overhead;
             reduction = red_time;
+            recovery = recovery_time;
             steps = step_rows;
             total = total_time;
           }
@@ -1399,6 +1639,7 @@ let redistribute ?profile machine cost ~shape ~src ~dst =
             Cp.nprocs;
             overhead = 0.0;
             reduction = 0.0;
+            recovery = 0.0;
             steps =
               [
                 {

@@ -59,6 +59,7 @@ val execute :
   ?staged:bool ->
   ?trace:trace_event list ref ->
   ?profile:Distal_obs.Profile.t ->
+  ?faults:Distal_fault.Fault.t ->
   spec ->
   data:(string * Distal_tensor.Dense.t) list ->
   (result, string) Stdlib.result
@@ -97,7 +98,26 @@ val execute :
     {!Distal_obs.Critical_path.analyse}, and an [exec.*] metrics registry.
     The event stream is deterministic — [Full] and [Model] runs of the
     same spec produce identical streams — and the timeline's [total]
-    equals the returned [Stats.time] exactly. *)
+    equals the returned [Stats.time] exactly.
+
+    [faults] injects a deterministic fault plan ({!Distal_fault.Fault}).
+    Killed processors lose their in-flight tasks: the affected launch
+    points are re-probed and their effects land on the failover processor
+    ({!Mapper.fallback}); the simulated clock pays one recovery episode
+    per kill — failure detection, checkpoint restore from the buddy
+    replica (when the plan enables checkpointing; a full restart
+    otherwise) and the replay of the steps since the last boundary —
+    priced through the cost model and reported via [exec.recovery_time],
+    [exec.faults_injected], [exec.replayed_steps], [exec.checkpoint_bytes]
+    and [exec.restore_bytes]. Dropped messages cost a retransmission,
+    delayed ones hold their receiver back. Recovery is exact: the final
+    output of a killed-and-replayed run is bit-identical to the fault-free
+    run. An absent or empty plan (no events, checkpointing off) changes
+    nothing — results, traces, stats and event streams are byte-identical
+    to a run without fault support; a fault-free run with checkpointing
+    on additionally reports [exec.checkpoint_bytes] /
+    [exec.checkpoint_time] but its results, traces and simulated times
+    are likewise untouched (checkpoint writes overlap the run). *)
 
 val serial_reference :
   Distal_ir.Expr.stmt ->

@@ -1,6 +1,18 @@
 module Ints = Distal_support.Ints
 module Machine = Distal_machine.Machine
 
+let fallback ~nprocs ~dead p =
+  if not (dead p) then p
+  else
+    let rec next k =
+      if k > nprocs then
+        invalid_arg "Mapper.fallback: every processor is dead"
+      else
+        let q = (p + k) mod nprocs in
+        if dead q then next (k + 1) else q
+    in
+    next 1
+
 let proc_of_point machine ~launch_dims point =
   let mdims = (machine : Machine.t).dims in
   if Ints.equal launch_dims mdims then point

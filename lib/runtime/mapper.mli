@@ -10,3 +10,10 @@ val proc_of_point :
   Distal_machine.Machine.t -> launch_dims:int array -> int array -> int array
 (** The processor coordinate that executes a launch point. A
     zero-dimensional launch maps to processor 0. *)
+
+val fallback : nprocs:int -> dead:(int -> bool) -> int -> int
+(** The failover policy for fault recovery: work (and replicated state)
+    of a dead linear processor moves to the next live linear processor,
+    wrapping around the machine — the same neighbour that holds its
+    checkpoint replica. Live processors map to themselves.
+    @raise Invalid_argument when every processor is dead. *)

@@ -1,0 +1,52 @@
+(* Centralized parsing of DISTAL_* environment variables.
+
+   Every knob the runtime reads from the environment goes through here so
+   that malformed values fail loudly and uniformly instead of being
+   silently ignored at each call site. An unset or empty variable always
+   means "use the default"; a set-but-malformed one is a configuration
+   error and raises. *)
+
+let lookup name =
+  match Sys.getenv_opt name with
+  | None -> None
+  | Some s ->
+      let s = String.trim s in
+      if s = "" then None else Some s
+
+let malformed name s expect =
+  invalid_arg (Printf.sprintf "%s must be %s, got %S" name expect s)
+
+let string_var name = lookup name
+
+let int_var name =
+  match lookup name with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> Some n
+      | None -> malformed name s "an integer")
+
+let positive_int_var name =
+  match lookup name with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None -> malformed name s "a positive integer")
+
+let float_var name =
+  match lookup name with
+  | None -> None
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some f when Float.is_finite f -> Some f
+      | Some _ | None -> malformed name s "a finite number")
+
+let bool_var ~default name =
+  match lookup name with
+  | None -> default
+  | Some s -> (
+      match String.lowercase_ascii s with
+      | "1" | "true" | "yes" | "on" -> true
+      | "0" | "false" | "no" | "off" -> false
+      | _ -> malformed name s "a boolean (0/1/true/false/yes/no/on/off)")

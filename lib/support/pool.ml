@@ -26,16 +26,9 @@ type t = {
 let max_domains = 64
 
 let default_size () =
-  let cores () = min max_domains (Domain.recommended_domain_count ()) in
-  match Sys.getenv_opt "DISTAL_NUM_DOMAINS" with
-  | None -> cores ()
-  | Some s when String.trim s = "" -> cores ()
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> min n max_domains
-      | _ ->
-          invalid_arg
-            (Printf.sprintf "DISTAL_NUM_DOMAINS must be a positive integer, got %S" s))
+  match Env.positive_int_var "DISTAL_NUM_DOMAINS" with
+  | Some n -> min n max_domains
+  | None -> min max_domains (Domain.recommended_domain_count ())
 
 let create size =
   if size < 1 then invalid_arg "Pool.create: size must be >= 1";

@@ -13,6 +13,7 @@ type t
 val default_size : unit -> int
 (** [DISTAL_NUM_DOMAINS] when set and non-empty (clamped to [1, 64]),
     otherwise {!Domain.recommended_domain_count} — the available cores.
+    Parsed via {!Env.positive_int_var}.
     @raise Invalid_argument when the variable is set but not a positive
     integer. *)
 

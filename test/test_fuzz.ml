@@ -9,6 +9,24 @@ module S = Api.Schedule
 module D = Api.Distnot
 module Rng = Distal_support.Rng
 
+(* {2 DISTAL_SEED: reproducible fuzzing}
+
+   Every QCheck fuzz suite in the test tree registers through
+   [to_alcotest]: DISTAL_SEED=N pins the generator's random state, so a
+   run explores the same case sequence on every host, and [seeded]
+   prefixes any property failure with the per-case seed it was given —
+   the failure message names the exact case to replay. *)
+
+let to_alcotest ?(long = true) test =
+  match Distal_support.Env.int_var "DISTAL_SEED" with
+  | Some s ->
+      QCheck_alcotest.to_alcotest ~long ~rand:(Random.State.make [| s |]) test
+  | None -> QCheck_alcotest.to_alcotest ~long test
+
+let seeded seed f =
+  try f ()
+  with e -> QCheck.Test.fail_reportf "[seed %d] %s" seed (Printexc.to_string e)
+
 let var_pool = [| "i"; "j"; "k"; "l" |]
 
 (* A random statement over up to four index variables with fixed per-var
@@ -199,7 +217,7 @@ let fuzz_once seed =
 let qcheck_fuzz =
   QCheck.Test.make ~name:"random stmt x dist x schedule == serial" ~count:400
     QCheck.small_nat
-    (fun seed -> fuzz_once (succ seed))
+    (fun seed -> seeded (succ seed) (fun () -> fuzz_once (succ seed)))
 
 (* Same game on hierarchical machines (node blocks) with two-level
    distributions: level one over the first machine dimension, level two
@@ -258,7 +276,7 @@ let fuzz_hierarchical seed =
 let qcheck_fuzz_hierarchical =
   QCheck.Test.make ~name:"hierarchical dists x schedules == serial" ~count:250
     QCheck.small_nat
-    (fun seed -> fuzz_hierarchical (succ seed))
+    (fun seed -> seeded (succ seed) (fun () -> fuzz_hierarchical (succ seed)))
 
 (* A 3-way virtual grid folded onto 2 physical processors: virtual owners
    0 and 2 collide on physical processor 0. A self-referencing statement
@@ -290,8 +308,8 @@ let suites =
   [
     ( "fuzz",
       [
-        QCheck_alcotest.to_alcotest ~long:true qcheck_fuzz;
-        QCheck_alcotest.to_alcotest ~long:true qcheck_fuzz_hierarchical;
+        to_alcotest qcheck_fuzz;
+        to_alcotest qcheck_fuzz_hierarchical;
         Alcotest.test_case "virtual grid collision" `Quick test_virtual_grid_collision;
       ] );
   ]

@@ -214,7 +214,7 @@ let identity_once seed =
 let qcheck_identity =
   QCheck.Test.make ~name:"domains x staged leave runs byte-identical" ~count:60
     QCheck.small_nat
-    (fun seed -> identity_once (succ seed))
+    (fun seed -> Test_fuzz.seeded (succ seed) (fun () -> identity_once (succ seed)))
 
 let suites =
   [
@@ -226,6 +226,6 @@ let suites =
         Alcotest.test_case "reduction identity" `Quick test_reduction_identity;
         Alcotest.test_case "grid gemm identity" `Quick test_grid_identity;
         Alcotest.test_case "staged accumulation identity" `Quick test_staged_accumulate;
-        QCheck_alcotest.to_alcotest ~long:true qcheck_identity;
+        Test_fuzz.to_alcotest qcheck_identity;
       ] );
   ]

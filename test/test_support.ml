@@ -85,6 +85,52 @@ let qcheck_linearize =
       let i = seed mod n in
       Ints.linearize ~dims (Ints.delinearize ~dims i) = i)
 
+(* Env: every DISTAL_* knob goes through one parser that rejects
+   malformed values loudly instead of silently falling back. *)
+let test_env_parsing () =
+  let module Env = Distal_support.Env in
+  let v = "DISTAL_TEST_ENV_VAR" in
+  let restore = Option.value (Sys.getenv_opt v) ~default:"" in
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv v restore)
+    (fun () ->
+      Unix.putenv v "  42 ";
+      Alcotest.(check (option int)) "int trims" (Some 42) (Env.int_var v);
+      Alcotest.(check (option int)) "positive" (Some 42) (Env.positive_int_var v);
+      Unix.putenv v "";
+      Alcotest.(check (option int)) "empty means unset" None (Env.int_var v);
+      Unix.putenv v "   ";
+      Alcotest.(check (option string)) "blank means unset" None (Env.string_var v);
+      Unix.putenv v "-3";
+      Alcotest.(check (option int)) "negative int" (Some (-3)) (Env.int_var v);
+      (match Env.positive_int_var v with
+      | _ -> Alcotest.fail "positive_int_var accepted -3"
+      | exception Invalid_argument _ -> ());
+      Unix.putenv v "1.5e-3";
+      Alcotest.(check (option (float 0.0))) "float" (Some 1.5e-3) (Env.float_var v);
+      Unix.putenv v "nan";
+      (match Env.float_var v with
+      | _ -> Alcotest.fail "float_var accepted nan"
+      | exception Invalid_argument _ -> ());
+      Unix.putenv v "zero";
+      (match Env.int_var v with
+      | _ -> Alcotest.fail "int_var accepted a word"
+      | exception Invalid_argument e ->
+          if not (Astring_contains.contains e "DISTAL_TEST_ENV_VAR") then
+            Alcotest.failf "error does not name the variable: %s" e);
+      List.iter
+        (fun (s, b) ->
+          Unix.putenv v s;
+          Alcotest.(check bool) s b (Env.bool_var ~default:(not b) v))
+        [
+          ("1", true); ("0", false); ("TRUE", true); ("no", false);
+          ("On", true); ("off", false); ("Yes", true); ("false", false);
+        ];
+      Unix.putenv v "maybe";
+      match Env.bool_var ~default:true v with
+      | _ -> Alcotest.fail "bool_var accepted 'maybe'"
+      | exception Invalid_argument _ -> ())
+
 let suites =
   [
     ( "support",
@@ -100,6 +146,7 @@ let suites =
         Alcotest.test_case "rng int range" `Quick test_rng_int_range;
         Alcotest.test_case "rng split" `Quick test_rng_split_independent;
         Alcotest.test_case "table" `Quick test_table;
+        Alcotest.test_case "DISTAL_* env parsing" `Quick test_env_parsing;
         QCheck_alcotest.to_alcotest qcheck_linearize;
       ] );
   ]
