@@ -31,7 +31,7 @@ module Metrics = Distal_obs.Metrics
 module Cp = Distal_obs.Critical_path
 module Report = Distal_obs.Report
 module Chrome_trace = Distal_obs.Chrome_trace
-module Json = Distal_obs.Json
+module Json = Distal_support.Json
 
 (* {2 Bechamel micro-benchmarks} *)
 
@@ -502,6 +502,128 @@ let simperf_run ~small () =
 let simperf () = simperf_run ~small:false ()
 let simperf_small () = simperf_run ~small:true ()
 
+(* {2 serve: compile-and-serve throughput (lib/serve)}
+
+   Measures the serving session's three tiers on the cyclic GEMM, real
+   wall clock: cold (caching off — every request parses, typechecks,
+   schedules, lowers and runs), plan-cached (compile amortized, every
+   request still executes) and hot (plan + result cache — repeated
+   identical requests replay the finished run). The headline ratio
+   serve.hot_cache_speedup is gated by validate_bench: a hot request
+   must be at least 5x a cold one, or the serving layer has stopped
+   paying for itself. *)
+
+module Serve_session = Distal_serve.Session
+
+let serve_request ~n ~grid ~chunks =
+  Api.request
+    ~machine:(Machine.grid [| grid; grid |])
+    ~stmt:"A(i,j) = B(i,k) * C(k,j)"
+    ~tensors:
+      [
+        Api.tensor "A" [| n; n |] ~dist:"[x,y] -> [x,y]";
+        Api.tensor "B" [| n; n |] ~dist:"[x,y] -> [x%1,y%1]";
+        Api.tensor "C" [| n; n |] ~dist:"[x,y] -> [x%1,y%1]";
+      ]
+    ~schedule:
+      (Printf.sprintf
+         "distribute_onto({i,j}, {io,jo}, {ii,ji}, [%d,%d]); split(k, ko, ki, %d);\n\
+          reorder(ko, ii, ji, ki); communicate(A, jo); communicate({B,C}, ko)"
+         grid grid chunks)
+    ()
+
+(* Best-of wall clock per served request: identical requests against one
+   session, so whatever tier the session's caches put it on is what gets
+   timed. *)
+let serve_measure session req ~reps =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = now () in
+    ignore (Serve_session.run_exn ~mode:Api.Exec.Full ~seed:42 session req);
+    let w = now () -. t0 in
+    if w < !best then best := w
+  done;
+  !best
+
+let serve_run ~small () =
+  Printf.printf "== serve: compile-and-serve throughput (real wall clock%s) ==\n"
+    (if small then ", small config" else "");
+  let req =
+    if small then serve_request ~n:64 ~grid:4 ~chunks:8
+    else serve_request ~n:128 ~grid:4 ~chunks:16
+  in
+  let cold_reps = 3 in
+  let hot_reps = if small then 200 else 1000 in
+  (* Cold: caching disabled, so every request is the full pipeline. *)
+  let cold_session = Serve_session.create ~plan_cache:0 () in
+  let cold = serve_measure cold_session req ~reps:cold_reps in
+  (* Plan tier only: compile amortized, execution still happens. *)
+  let plan_session = Serve_session.create ~plan_cache:128 ~result_cache:0 () in
+  ignore (serve_measure plan_session req ~reps:1) (* warm the plan cache *);
+  let plan_only = serve_measure plan_session req ~reps:cold_reps in
+  (* Hot: both tiers; after one warming request everything replays. *)
+  let hot_session = Serve_session.create () in
+  ignore (serve_measure hot_session req ~reps:1);
+  let hot = serve_measure hot_session req ~reps:hot_reps in
+  let c = Serve_session.counters hot_session in
+  if c.Serve_session.result_hits < hot_reps then
+    failwith "serve bench: hot requests missed the result cache";
+  let per w = if w > 0.0 then 1.0 /. w else 0.0 in
+  let hot_speedup = if hot > 0.0 then cold /. hot else 0.0 in
+  let plan_speedup = if plan_only > 0.0 then cold /. plan_only else 0.0 in
+  let table =
+    Distal_support.Table.create ~header:[ "tier"; "wall/req"; "reqs/s"; "vs cold" ]
+  in
+  List.iter
+    (fun (tier, wall, speedup) ->
+      Distal_support.Table.add_row table
+        [
+          tier;
+          Printf.sprintf "%.3f ms" (wall *. 1e3);
+          Printf.sprintf "%.0f" (per wall);
+          (match speedup with Some s -> Printf.sprintf "%.1fx" s | None -> "-");
+        ])
+    [
+      ("cold (no cache)", cold, None);
+      ("plan cache", plan_only, Some plan_speedup);
+      ("hot (plan+result)", hot, Some hot_speedup);
+    ];
+  Distal_support.Table.print table;
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "distal-bench/v1");
+        ("id", Json.String "serve");
+        ( "metrics",
+          Json.List
+            (List.map
+               (fun (name, value, unit_) ->
+                 Json.Obj
+                   [
+                     ("name", Json.String name);
+                     ( "value",
+                       if Float.is_finite value then Json.Float value else Json.Null );
+                     ("unit", Json.String unit_);
+                   ])
+               [
+                 ("serve.cold_reqs_per_s", per cold, "req/s");
+                 ("serve.plan_cache_reqs_per_s", per plan_only, "req/s");
+                 ("serve.reqs_per_s", per hot, "req/s");
+                 ("serve.plan_cache_speedup", plan_speedup, "x");
+                 ("serve.hot_cache_speedup", hot_speedup, "x");
+               ]) );
+      ]
+  in
+  let file = "BENCH_serve.json" in
+  let oc = open_out file in
+  output_string oc (Json.to_string_pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n\n" file
+
+let serve_bench () = serve_run ~small:false ()
+let serve_bench_small () = serve_run ~small:true ()
+
 (* {2 Ablations: the design choices DESIGN.md calls out} *)
 
 let ablation () =
@@ -723,6 +845,8 @@ let sections =
     ("headline", headline);
     ("simperf", simperf);
     ("simperf-small", simperf_small);
+    ("serve", serve_bench);
+    ("serve-small", serve_bench_small);
     ("ablation", ablation);
     ("auto", auto);
     ("strong", strong);
@@ -738,7 +862,7 @@ let () =
     | _ :: (_ :: _ as args) -> args
     | _ ->
         List.filter
-          (fun s -> s <> "csv" && s <> "simperf-small")
+          (fun s -> s <> "csv" && s <> "simperf-small" && s <> "serve-small")
           (List.map fst sections)
   in
   List.iter

@@ -16,11 +16,14 @@
    [DISTAL_BENCH_TOLERANCE] environment variable overrides the flag, so a
    noisy CI host can relax the gate without editing build files. Metrics
    other than [*.wall_s] are informational and never gate — except
-   [*.coalesce_speedup], which must never fall below 1.0: communication
+   [*.coalesce_speedup], which must never fall below 1.0 (communication
    planning losing to not planning is a planner regression regardless of
-   the host. *)
+   the host), and [*.hot_cache_speedup], which must reach at least 5.0
+   (a hot serving-cache request that is not clearly cheaper than a cold
+   compile-and-run means the serving layer has stopped paying for
+   itself). *)
 
-module Json = Distal_obs.Json
+module Json = Distal_support.Json
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("validate_bench: " ^ s); exit 1) fmt
 
@@ -131,7 +134,9 @@ let check_speedups () =
         fail "%s is %.3fx: communication planning slower than no planning" name v;
       if String.ends_with ~suffix:".nocheckpoint_overhead" name && v <> 0.0 then
         fail "%s is %g s: fault-free run without checkpointing must cost exactly 0"
-          name v)
+          name v;
+      if String.ends_with ~suffix:".hot_cache_speedup" name && v < 5.0 then
+        fail "%s is %.1fx: hot serving-cache requests must be at least 5x cold" name v)
     !seen_metrics
 
 let check file =

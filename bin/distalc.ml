@@ -41,8 +41,80 @@ let parse_tensor_decl s =
       Ok (Api.tensor_d name shape dist)
   | _ -> errf "bad tensor declaration %S (expected name:dims:dist)" s
 
+(* {2 Client mode: ship the request to a running distald}
+
+   The same command line, but instead of compiling locally the request
+   is framed over the serve wire protocol; the daemon's plan cache makes
+   repeated shapes hot. --estimate maps to a Model-mode run (stats only,
+   no output tensor), the default to a Full run on the seeded input
+   stream. *)
+
+module Serve = Distal_serve
+
+let parse_remote_tensor s =
+  match String.split_on_char ':' s with
+  | [ name; dims; dist ] ->
+      let* shape = if dims = "scalar" then Ok [||] else parse_dims dims in
+      Ok { Serve.Protocol.td_name = name; td_shape = shape; td_dist = dist }
+  | _ -> errf "bad tensor declaration %S (expected name:dims:dist)" s
+
+let run_connect ~socket ~serve_stats ~serve_shutdown ~machine_dims ~gpu ~tensors ~stmt
+    ~schedule ~estimate ~seed ~faults =
+  let* client = Serve.Client.connect socket in
+  let finally r = Serve.Client.close client; r in
+  finally
+  @@
+  if serve_shutdown then
+    let* () = Serve.Client.shutdown client in
+    Ok (print_endline "distald: shutdown acknowledged")
+  else if serve_stats then
+    let* queue_depth, served, metrics = Serve.Client.stats client in
+    Printf.printf "queue depth: %d\nserved: %d\n%s\n" queue_depth served
+      (Distal_support.Json.to_string_pretty metrics);
+    Ok ()
+  else
+    let* stmt =
+      match stmt with Some s -> Ok s | None -> Error "--connect submit needs --stmt"
+    in
+    let* machine_dims = parse_dims machine_dims in
+    let* tensors =
+      List.fold_left
+        (fun acc s ->
+          let* acc = acc in
+          let* t = parse_remote_tensor s in
+          Ok (t :: acc))
+        (Ok []) tensors
+    in
+    let mode = if estimate then Api.Exec.Model else Api.Exec.Full in
+    let submit =
+      Serve.Protocol.submit ~gpu ~mode ~seed ?faults
+        ~id:(Serve.Client.fresh_id client)
+        ~machine_dims ~tensors:(List.rev tensors) ~stmt ~schedule ()
+    in
+    let* response = Serve.Client.submit_wait client submit in
+    match response with
+    | Serve.Client.Rejected { retry_after_s; reason } ->
+        errf "rejected by admission control: %s (retry after %gs)" reason retry_after_s
+    | Serve.Client.Failed reason -> errf "request failed: %s" reason
+    | Serve.Client.Ok_result r ->
+        Printf.printf "served: plan %s, result %s, batch of %d\n"
+          (if r.Serve.Protocol.plan_cached then "cached" else "compiled")
+          (if r.Serve.Protocol.result_cached then "replayed" else "executed")
+          r.Serve.Protocol.batch;
+        Printf.printf "stats: %s\n" (Stats.to_string r.Serve.Protocol.stats);
+        (match r.Serve.Protocol.output with
+        | None -> ()
+        | Some out ->
+            let a = Distal_tensor.Dense.unsafe_data out in
+            let sum = Array.fold_left ( +. ) 0.0 a in
+            Printf.printf "output: %d elements, sum %.17g\n" (Array.length a) sum);
+        Ok ()
+
 let run_pipeline ~machine_dims ~gpu ~tensors ~stmt ~schedule ~validate ~estimate ~quiet
     ~emit_legion ~profile_out ~faults =
+  let* stmt =
+    match stmt with Some s -> Ok s | None -> Error "missing required option --stmt"
+  in
   let profile = Option.map (fun _ -> Obs.Profile.create ()) profile_out in
   let* machine_dims = parse_dims machine_dims in
   let kind = if gpu then Machine.Gpu else Machine.Cpu in
@@ -114,8 +186,9 @@ let tensor_arg =
                Use dims 'scalar' for a 0-d tensor. Repeatable.")
 
 let stmt_arg =
-  Arg.(required & opt (some string) None & info [ "stmt"; "s" ] ~docv:"STMT"
-         ~doc:"Tensor index notation statement, e.g. 'A(i,j) = B(i,k) * C(k,j)'.")
+  Arg.(value & opt (some string) None & info [ "stmt"; "s" ] ~docv:"STMT"
+         ~doc:"Tensor index notation statement, e.g. 'A(i,j) = B(i,k) * C(k,j)'. \
+               Required except for --connect with --serve-stats/--serve-shutdown.")
 
 let schedule_arg =
   Arg.(value & opt string "" & info [ "schedule" ] ~docv:"SCRIPT"
@@ -152,16 +225,43 @@ let faults_arg =
                'delay(by=SECONDS, ...)' with the same optional message filters. \
                Example: 'checkpoint=2; kill(proc=1, step=3)'.")
 
+let connect_arg =
+  Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"SOCKET"
+         ~doc:"Do not compile locally; submit the request to the distald daemon \
+               listening on the Unix-domain socket $(docv). With --estimate the \
+               daemon runs in model mode (stats only); otherwise a full run on \
+               the seeded input stream, printing the output summary.")
+
+let serve_stats_arg =
+  Arg.(value & flag & info [ "serve-stats" ]
+         ~doc:"With --connect: print the daemon's queue depth, served count and \
+               serve.* metrics, then exit.")
+
+let serve_shutdown_arg =
+  Arg.(value & flag & info [ "serve-shutdown" ]
+         ~doc:"With --connect: ask the daemon to drain its queue and exit.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+         ~doc:"With --connect: the deterministic input stream the daemon runs on.")
+
 let cmd =
   let doc = "compile tensor index notation to a distributed task program" in
   let run machine_dims gpu tensors stmt schedule validate estimate quiet emit_legion
-      profile_out faults =
-    match
-      run_pipeline ~machine_dims ~gpu ~tensors ~stmt ~schedule ~validate ~estimate
-        ~quiet ~emit_legion ~profile_out ~faults
-    with
-    | Ok () -> `Ok ()
-    | Error e -> `Error (false, e)
+      profile_out faults connect serve_stats serve_shutdown seed =
+    let result =
+      match connect with
+      | Some socket ->
+          run_connect ~socket ~serve_stats ~serve_shutdown ~machine_dims ~gpu ~tensors
+            ~stmt ~schedule ~estimate ~seed ~faults
+      | None ->
+          if serve_stats || serve_shutdown then
+            Error "--serve-stats/--serve-shutdown need --connect"
+          else
+            run_pipeline ~machine_dims ~gpu ~tensors ~stmt ~schedule ~validate
+              ~estimate ~quiet ~emit_legion ~profile_out ~faults
+    in
+    match result with Ok () -> `Ok () | Error e -> `Error (false, e)
   in
   Cmd.v
     (Cmd.info "distalc" ~doc)
@@ -169,6 +269,6 @@ let cmd =
       ret
         (const run $ machine_arg $ gpu_arg $ tensor_arg $ stmt_arg $ schedule_arg
        $ validate_arg $ estimate_arg $ quiet_arg $ emit_legion_arg $ profile_arg
-       $ faults_arg))
+       $ faults_arg $ connect_arg $ serve_stats_arg $ serve_shutdown_arg $ seed_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,95 @@
+(* distald — the compile-and-serve daemon.
+
+   Listens on a Unix-domain socket for length-prefixed JSONL requests
+   (see lib/serve/protocol.mli), sharing one plan cache, result cache
+   and executor domain pool across all clients; batches same-shape
+   requests arriving within the batching window into one compile and
+   rejects submits beyond the admission bound with a retry-after.
+
+   Example:
+
+     distald --socket /tmp/distald.sock --queue 64 --batch-window 0.002 &
+     distalc --connect /tmp/distald.sock \
+       --machine 2x2 --tensor 'A:8x8:[x,y] -> [x,y]' ... \
+       --stmt 'A(i,j) = B(i,k) * C(k,j)' --schedule '...'
+     distalc --connect /tmp/distald.sock --serve-stats
+     distalc --connect /tmp/distald.sock --serve-shutdown *)
+
+module Server = Distal_serve.Server
+
+open Cmdliner
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path to listen on (an existing socket file is replaced).")
+
+let queue_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "Admission bound: submits beyond $(docv) queued requests are rejected \
+           with a retry-after. Defaults to \\$DISTAL_SERVE_QUEUE, else 64.")
+
+let window_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "batch-window" ] ~docv:"SECONDS"
+        ~doc:
+          "How long a queued request may wait for same-shape batch-mates before \
+           the queue is flushed. Defaults to \\$DISTAL_SERVE_BATCH_WINDOW, else 0.002.")
+
+let cache_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache" ] ~docv:"N"
+        ~doc:
+          "Plan-cache capacity (distinct request shapes); 0 disables caching. \
+           Defaults to \\$DISTAL_SERVE_CACHE, else 128.")
+
+let results_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "results" ] ~docv:"N"
+        ~doc:
+          "Result-cache capacity (finished runs replayed for byte-identical \
+           requests). Defaults to 1024, or 0 when the plan cache is disabled.")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Executor domain-pool size shared by all requests.")
+
+let quiet_arg = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No startup/shutdown chatter.")
+
+let cmd =
+  let doc = "serve DISTAL compile-and-run requests over a Unix-domain socket" in
+  let run socket_path queue_limit batch_window plan_cache result_cache domains quiet =
+    match
+      Server.config ?queue_limit ?batch_window ?plan_cache ?result_cache ?domains
+        ~quiet ~socket_path ()
+    with
+    | cfg -> (
+        match Server.serve cfg with
+        | () -> `Ok ()
+        | exception Unix.Unix_error (e, fn, arg) ->
+            `Error (false, Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e)))
+    | exception Invalid_argument e -> `Error (false, e)
+  in
+  Cmd.v
+    (Cmd.info "distald" ~doc)
+    Term.(
+      ret
+        (const run $ socket_arg $ queue_arg $ window_arg $ cache_arg $ results_arg
+       $ domains_arg $ quiet_arg))
+
+let () = exit (Cmd.eval cmd)

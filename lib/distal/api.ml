@@ -189,6 +189,73 @@ let input_bytes plan =
     0.0 plan.problem.tensors
 
 
+(* {2 Requests: the serving layer's unit of work}
+
+   A request is the whole compilation question in one immutable value —
+   statement, schedule script, machine, virtual grid and tensor
+   declarations — so a session layer (lib/serve) can key a plan cache on
+   it without parsing anything first. *)
+
+type request = {
+  req_machine : Machine.t;
+  req_virtual_grid : int array option;
+  req_tensors : tensor list;
+  req_stmt : string;
+  req_schedule : string;
+}
+
+let request ?virtual_grid ~machine ~stmt ~schedule ~tensors () =
+  {
+    req_machine = machine;
+    req_virtual_grid = virtual_grid;
+    req_tensors = tensors;
+    req_stmt = stmt;
+    req_schedule = schedule;
+  }
+
+(* The canonical fingerprint. Built purely from the declarative request
+   fields — never from compiler output — so a cache lookup costs a few
+   string writes and an MD5, not a parse. Fields are length-delimited
+   (every string is preceded by its byte length), which makes the
+   encoding injective: no two distinct requests render to the same
+   canonical string. *)
+let request_fingerprint r =
+  let buf = Buffer.create 256 in
+  let str s =
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+  in
+  let ints label a =
+    str label;
+    Buffer.add_string buf (String.concat "," (Array.to_list (Array.map string_of_int a)));
+    Buffer.add_char buf ';'
+  in
+  let m = r.req_machine in
+  ints "dims" m.Machine.dims;
+  ints "nodes" m.Machine.node_factors;
+  str (match m.Machine.kind with Machine.Cpu -> "cpu" | Machine.Gpu -> "gpu");
+  str (Printf.sprintf "%h" m.Machine.mem_per_proc);
+  (match r.req_virtual_grid with None -> str "none" | Some g -> ints "vgrid" g);
+  str r.req_stmt;
+  str r.req_schedule;
+  List.iter
+    (fun t ->
+      str t.name;
+      ints "shape" t.shape;
+      str (Distnot.to_string t.dist))
+    r.req_tensors;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let compile_request ?profile r =
+  let* p =
+    problem ?profile ?virtual_grid:r.req_virtual_grid ~machine:r.req_machine
+      ~stmt:r.req_stmt ~tensors:r.req_tensors ()
+  in
+  compile_script ?profile p ~schedule:r.req_schedule
+
+let compile_request_exn ?profile r = or_invalid (compile_request ?profile r)
+
 type pipeline = { machine : Machine.t; tensors : tensor list; stages : plan list }
 
 let pipeline ~machine ~tensors ~stages =

@@ -148,6 +148,44 @@ val input_bytes : plan -> float
 (** Total payload bytes of the statement's tensors (for GB/s reporting). *)
 
 
+(** {2 Requests: the serving layer's unit of work}
+
+    A request bundles everything that determines a compiled plan —
+    statement, schedule script, machine, virtual grid, tensor
+    declarations — as one immutable value, so a session layer
+    (lib/serve) can cache compilation keyed on {!request_fingerprint}
+    without re-parsing anything on a hit. *)
+
+type request = {
+  req_machine : Machine.t;
+  req_virtual_grid : int array option;
+  req_tensors : tensor list;
+  req_stmt : string;  (** tensor index notation, unparsed *)
+  req_schedule : string;  (** schedule script, unparsed *)
+}
+
+val request :
+  ?virtual_grid:int array ->
+  machine:Machine.t ->
+  stmt:string ->
+  schedule:string ->
+  tensors:tensor list ->
+  unit ->
+  request
+
+val request_fingerprint : request -> string
+(** Canonical fingerprint of expr x schedule x machine x virtual grid x
+    tensor distributions: an MD5 hex digest of an injective
+    length-delimited encoding of the declarative request fields. Equal
+    requests always collide; distinct requests differ (up to MD5).
+    Computed without parsing, so cache hits cost no compiler work. *)
+
+val compile_request : ?profile:Obs.Profile.t -> request -> (plan, string) result
+(** [problem] + [compile_script] in one step: parse, typecheck and
+    compile the request. The session layer's miss path. *)
+
+val compile_request_exn : ?profile:Obs.Profile.t -> request -> plan
+
 (** {2 Multi-statement pipelines}
 
     Kernels run in the context of larger programs (§1): a pipeline chains

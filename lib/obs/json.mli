@@ -1,31 +1,7 @@
-(** A minimal JSON tree, printer and parser.
+(** Type-equal re-export of {!Distal_support.Json}, where the tree's one
+    JSON writer/parser now lives (shared with the [distald] wire
+    protocol). *)
 
-    The container has no JSON package, so the observability exporters
-    (Chrome traces, bench trajectories, metric snapshots) carry their own
-    small implementation. The printer always emits valid JSON (non-finite
-    floats become [null]); the parser accepts exactly the JSON grammar and
-    exists so tests can check that what we emit round-trips. *)
-
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | String of string
-  | List of t list
-  | Obj of (string * t) list
-
-val to_string : t -> string
-(** Compact rendering. *)
-
-val to_string_pretty : t -> string
-(** Two-space-indented rendering (for files meant to be diffed). *)
-
-val parse : string -> (t, string) result
-
-val member : string -> t -> t option
-(** [member k (Obj ...)] looks up key [k]; [None] on missing key or
-    non-object. *)
-
-val to_float : t -> float option
-(** Numeric value of an [Int] or [Float] node. *)
+include module type of struct
+  include Distal_support.Json
+end

@@ -1,0 +1,349 @@
+(* The distald server engine: a select-driven loop over a Unix-domain
+   socket serving concurrent clients from one shared session (one plan
+   cache, one result cache, one executor domain pool).
+
+   Requests are not served on arrival. A submit is admitted into a
+   bounded queue (or rejected with a retry-after once the bound is hit —
+   overload degrades into explicit backpressure instead of piling up),
+   and the queue is flushed once its oldest entry has waited out the
+   batching window. A flush groups the queue by plan fingerprint, so K
+   same-shape requests that arrived within one window cost one compile
+   plus K runs (and, for byte-identical requests, one run plus K-1
+   result-cache replays). Stats and shutdown messages bypass the queue.
+
+   Clients that die mid-request are detected as EOF (possibly inside a
+   frame) or as a failed reply write; either way their queue entries are
+   discarded and their admission slots freed — a killed client never
+   wedges the server or leaks capacity. The server keeps no durable
+   state: a killed-and-restarted distald starts with cold caches and
+   recompiles on miss, reproducing identical results (the simulator is
+   deterministic), which is the checkpoint-free recovery story the
+   robustness tests exercise. *)
+
+module Api = Distal.Api
+module Obs = Distal_obs
+module Wire = Distal_support.Wire
+module Env = Distal_support.Env
+
+type config = {
+  socket_path : string;
+  queue_limit : int;
+  batch_window : float;
+  plan_cache : int;
+  result_cache : int;
+  domains : int option;
+  quiet : bool;
+}
+
+let default_queue_limit = 64
+let default_batch_window = 0.002
+
+let config ?queue_limit ?batch_window ?plan_cache ?result_cache ?domains
+    ?(quiet = false) ~socket_path () =
+  let pick opt env default = match opt with Some v -> v | None -> Option.value (env ()) ~default in
+  let queue_limit = pick queue_limit Env.serve_queue default_queue_limit in
+  let batch_window = pick batch_window Env.serve_batch_window default_batch_window in
+  let plan_cache = pick plan_cache Env.serve_cache Session.default_plan_capacity in
+  let result_cache =
+    match result_cache with
+    | Some c -> c
+    | None -> if plan_cache = 0 then 0 else Session.default_result_capacity
+  in
+  if queue_limit < 1 then invalid_arg "Server.config: queue_limit must be >= 1";
+  if not (Float.is_finite batch_window) || batch_window < 0.0 then
+    invalid_arg "Server.config: batch_window must be >= 0";
+  { socket_path; queue_limit; batch_window; plan_cache; result_cache; domains; quiet }
+
+type client = {
+  fd : Unix.file_descr;
+  dec : Wire.decoder;
+  buf : Bytes.t;
+}
+
+type entry = {
+  submit : Protocol.submit;
+  request : Api.request;
+  fingerprint : string;
+  owner : Unix.file_descr;  (* identity of the submitting client *)
+  arrived : float;
+}
+
+type t = {
+  cfg : config;
+  listener : Unix.file_descr;
+  session : Session.t;
+  clients : (Unix.file_descr, client) Hashtbl.t;
+  queue : entry Queue.t;
+  mutable served : int;
+  mutable stop : bool;
+}
+
+let now () = Unix.gettimeofday ()
+
+let log t fmt =
+  if t.cfg.quiet then Printf.ifprintf stdout fmt
+  else Printf.fprintf stdout (fmt ^^ "%!")
+
+let metric t name =
+  Obs.Metrics.inc (Obs.Metrics.counter (Session.metrics t.session) name) 1.0
+
+let set_gauge t name v =
+  Obs.Metrics.set (Obs.Metrics.gauge (Session.metrics t.session) name) v
+
+let observe t name v =
+  Obs.Metrics.observe (Obs.Metrics.histogram (Session.metrics t.session) name) v
+
+let queue_depth t = Queue.length t.queue
+
+let create cfg =
+  (* A reply to a vanished client must surface as EPIPE, not kill the
+     process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  if Sys.file_exists cfg.socket_path then Unix.unlink cfg.socket_path;
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen listener 64;
+  {
+    cfg;
+    listener;
+    session =
+      Session.create ~plan_cache:cfg.plan_cache ~result_cache:cfg.result_cache
+        ?domains:cfg.domains ();
+    clients = Hashtbl.create 16;
+    queue = Queue.create ();
+    served = 0;
+    stop = false;
+  }
+
+let session t = t.session
+
+(* {2 Client lifecycle} *)
+
+let drop_client t fd ~mid_request =
+  if Hashtbl.mem t.clients fd then begin
+    Hashtbl.remove t.clients fd;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    metric t "serve.disconnects";
+    if mid_request then metric t "serve.client_kills";
+    (* Free the dead client's admission slots: its queued requests can
+       never be answered, so they must not count against the bound (or
+       waste a batch's compute). *)
+    let keep = Queue.create () in
+    Queue.iter (fun e -> if e.owner <> fd then Queue.add e keep) t.queue;
+    Queue.clear t.queue;
+    Queue.transfer keep t.queue;
+    set_gauge t "serve.queue_depth" (float_of_int (queue_depth t))
+  end
+
+let send t fd msg =
+  match Wire.send fd (Protocol.encode_server msg) with
+  | () -> true
+  | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      drop_client t fd ~mid_request:true;
+      false
+
+(* {2 Message handling} *)
+
+let stats_reply t =
+  set_gauge t "serve.queue_depth" (float_of_int (queue_depth t));
+  Protocol.StatsReply
+    {
+      queue_depth = queue_depth t;
+      served = t.served;
+      metrics = Obs.Metrics.to_json (Session.metrics t.session);
+    }
+
+let admit t fd (s : Protocol.submit) =
+  if queue_depth t >= t.cfg.queue_limit then begin
+    metric t "serve.rejected";
+    (* Overloaded: tell the client when the current backlog will have
+       drained a window, rather than letting the queue grow without
+       bound. *)
+    let retry_after_s = t.cfg.batch_window +. 0.001 in
+    ignore
+      (send t fd
+         (Protocol.Rejected
+            {
+              rid = s.Protocol.id;
+              retry_after_s;
+              reason =
+                Printf.sprintf "queue full (depth %d, limit %d)" (queue_depth t)
+                  t.cfg.queue_limit;
+            }))
+  end
+  else
+    match Protocol.to_request s with
+    | Error reason ->
+        metric t "serve.bad_requests";
+        ignore (send t fd (Protocol.Failed { rid = s.Protocol.id; reason }))
+    | Ok request ->
+        Queue.add
+          {
+            submit = s;
+            request;
+            fingerprint = Api.request_fingerprint request;
+            owner = fd;
+            arrived = now ();
+          }
+          t.queue;
+        metric t "serve.admitted";
+        set_gauge t "serve.queue_depth" (float_of_int (queue_depth t))
+
+let handle_message t fd = function
+  | Protocol.Submit s -> admit t fd s
+  | Protocol.Stats -> ignore (send t fd (stats_reply t))
+  | Protocol.Shutdown ->
+      log t "distald: shutdown requested\n";
+      ignore (send t fd Protocol.ShutdownAck);
+      t.stop <- true
+
+let handle_readable t fd =
+  match Hashtbl.find_opt t.clients fd with
+  | None -> ()
+  | Some c -> (
+      match Unix.read c.fd c.buf 0 (Bytes.length c.buf) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          drop_client t fd ~mid_request:(Wire.pending c.dec)
+      | 0 ->
+          (* EOF: clean if on a frame boundary, a mid-request kill if the
+             decoder holds a partial frame. *)
+          drop_client t fd ~mid_request:(Wire.pending c.dec)
+      | n ->
+          Wire.feed c.dec c.buf 0 n;
+          let rec drain () =
+            if Hashtbl.mem t.clients fd && not t.stop then
+              match Wire.next c.dec with
+              | Ok None -> ()
+              | Ok (Some payload) -> (
+                  match Protocol.decode_client payload with
+                  | Ok msg ->
+                      handle_message t fd msg;
+                      drain ()
+                  | Error e ->
+                      metric t "serve.bad_requests";
+                      ignore (send t fd (Protocol.Failed { rid = -1; reason = e }));
+                      drop_client t fd ~mid_request:false)
+              | Error e ->
+                  log t "distald: dropping client (%s)\n" e;
+                  drop_client t fd ~mid_request:true
+          in
+          drain ())
+
+let accept t =
+  match Unix.accept t.listener with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | fd, _ ->
+      Hashtbl.replace t.clients fd { fd; dec = Wire.decoder (); buf = Bytes.create 65536 };
+      metric t "serve.connects"
+
+(* {2 Batched execution} *)
+
+(* Group the drained queue by fingerprint, preserving arrival order of
+   first occurrence — each group is one compile (plan-cache single
+   flight) plus one run per member (byte-identical members collapse onto
+   the result cache). *)
+let group_by_fingerprint entries =
+  let order = ref [] in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      match Hashtbl.find_opt tbl e.fingerprint with
+      | Some l -> l := e :: !l
+      | None ->
+          Hashtbl.add tbl e.fingerprint (ref [ e ]);
+          order := e.fingerprint :: !order)
+    entries;
+  List.rev_map (fun fp -> List.rev !(Hashtbl.find tbl fp)) !order
+
+let serve_entry t ~batch e =
+  let s = e.submit in
+  let faults =
+    match s.Protocol.faults with
+    | None -> Ok None
+    | Some spec -> Result.map Option.some (Api.Fault.parse spec)
+  in
+  let reply =
+    match faults with
+    | Error reason -> Protocol.Failed { rid = s.Protocol.id; reason }
+    | Ok faults -> (
+        match
+          Session.run ~mode:s.Protocol.mode ?faults ~seed:s.Protocol.seed t.session
+            e.request
+        with
+        | Error reason -> Protocol.Failed { rid = s.Protocol.id; reason }
+        | Ok o ->
+            t.served <- t.served + 1;
+            Protocol.Result
+              {
+                rid = s.Protocol.id;
+                plan_cached = o.Session.plan_cached;
+                result_cached = o.Session.result_cached;
+                batch;
+                stats = o.Session.result.Api.Exec.stats;
+                output = o.Session.result.Api.Exec.output;
+              })
+  in
+  if Hashtbl.mem t.clients e.owner then ignore (send t e.owner reply)
+
+let flush t =
+  let entries = List.of_seq (Queue.to_seq t.queue) in
+  Queue.clear t.queue;
+  set_gauge t "serve.queue_depth" 0.0;
+  let groups = group_by_fingerprint entries in
+  List.iter
+    (fun group ->
+      metric t "serve.batches";
+      observe t "serve.batch_size" (float_of_int (List.length group));
+      let batch = List.length group in
+      List.iter (serve_entry t ~batch) group)
+    groups
+
+(* {2 The loop} *)
+
+let oldest_arrival t = Queue.peek_opt t.queue |> Option.map (fun e -> e.arrived)
+
+let step t ~idle_timeout =
+  let timeout =
+    match oldest_arrival t with
+    | None -> idle_timeout
+    | Some arrived -> Float.max 0.0 (arrived +. t.cfg.batch_window -. now ())
+  in
+  let fds = t.listener :: Hashtbl.fold (fun fd _ acc -> fd :: acc) t.clients [] in
+  (match Unix.select fds [] [] timeout with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | readable, _, _ ->
+      List.iter
+        (fun fd -> if fd = t.listener then accept t else handle_readable t fd)
+        readable);
+  match oldest_arrival t with
+  | Some arrived when now () >= arrived +. t.cfg.batch_window -> flush t
+  | _ -> ()
+
+let close t =
+  (try Unix.close t.listener with Unix.Unix_error _ -> ());
+  Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) t.clients;
+  Hashtbl.reset t.clients;
+  if Sys.file_exists t.cfg.socket_path then
+    try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ | Sys_error _ -> ()
+
+let run t =
+  log t "distald: listening on %s (queue %d, window %gs, cache %d plans / %d results)\n"
+    t.cfg.socket_path t.cfg.queue_limit t.cfg.batch_window t.cfg.plan_cache
+    t.cfg.result_cache;
+  (try
+     while not t.stop do
+       step t ~idle_timeout:0.5
+     done;
+     (* Drain: every admitted request still gets its result before the
+        socket disappears. *)
+     if not (Queue.is_empty t.queue) then flush t
+   with e ->
+     close t;
+     raise e);
+  log t "distald: served %d requests, bye\n" t.served;
+  close t
+
+let serve cfg =
+  let t = create cfg in
+  run t

@@ -1,0 +1,65 @@
+(** The [distald] server engine: a select-driven loop over a Unix-domain
+    socket serving concurrent clients from one shared {!Session} (one
+    plan cache, one result cache, one executor domain pool).
+
+    Submits are admitted into a bounded queue — or explicitly rejected
+    with a retry-after once the bound is hit — and flushed once the
+    oldest entry has waited out the batching window. A flush groups the
+    queue by plan fingerprint, so same-shape requests arriving within
+    one window share a single compile (and byte-identical ones share a
+    single run via the result cache). Clients that die mid-request are
+    detected and their queue slots reclaimed; a killed-and-restarted
+    server recompiles on miss and reproduces identical results
+    (checkpoint-free recovery — the simulator is deterministic). *)
+
+type config = {
+  socket_path : string;
+  queue_limit : int;  (** admission bound; >= 1 *)
+  batch_window : float;  (** seconds a queued request may wait for batch-mates *)
+  plan_cache : int;
+  result_cache : int;
+  domains : int option;
+  quiet : bool;
+}
+
+val default_queue_limit : int
+val default_batch_window : float
+
+val config :
+  ?queue_limit:int ->
+  ?batch_window:float ->
+  ?plan_cache:int ->
+  ?result_cache:int ->
+  ?domains:int ->
+  ?quiet:bool ->
+  socket_path:string ->
+  unit ->
+  config
+(** Omitted fields fall back to [DISTAL_SERVE_QUEUE],
+    [DISTAL_SERVE_BATCH_WINDOW] and [DISTAL_SERVE_CACHE], then to
+    built-in defaults (queue 64, window 2 ms, caches per {!Session}).
+    @raise Invalid_argument on a non-positive queue or negative window. *)
+
+type t
+
+val create : config -> t
+(** Bind and listen on [socket_path] (an existing socket file is
+    replaced); ignores [SIGPIPE]. *)
+
+val session : t -> Session.t
+
+val queue_depth : t -> int
+
+val step : t -> idle_timeout:float -> unit
+(** One iteration of the event loop: wait (at most [idle_timeout]s, or
+    until the batch window expires) for connections/messages, admit or
+    reject, flush a due batch. Exposed for tests; {!run} loops it. *)
+
+val run : t -> unit
+(** Serve until a [Shutdown] message arrives, then drain the queue,
+    close every connection and unlink the socket. *)
+
+val close : t -> unit
+
+val serve : config -> unit
+(** [create] + [run]. *)

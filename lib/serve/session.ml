@@ -1,0 +1,220 @@
+(* The session layer: Api with compilation (and, for repeated identical
+   requests, execution) amortized across calls.
+
+   Two LRU tiers, both keyed on canonical fingerprints
+   (Api.request_fingerprint):
+
+   - the plan cache maps a request fingerprint to its compiled plan, so
+     parse / typecheck / schedule rewrites / lowering run once per
+     distinct request shape. Compilation happens inside the cache's
+     single-flight find_or_add, so concurrent misses on one shape compile
+     exactly once and plan reuse never re-lowers.
+
+   - the result cache maps fingerprint x run options x input identity to
+     the finished Exec.result. The simulator is a deterministic pure
+     function of plan x data (the determinism contract of Exec.execute),
+     so replaying a cached result is semantically identical to re-running
+     — this is what makes a hot serving path orders of magnitude faster
+     than compile+execute, since compilation is microseconds while
+     execution is milliseconds. Inputs are identified by seed
+     (random_inputs requests, the distald path) or by a digest of the
+     supplied tensors. Cached outputs are returned as copies so callers
+     cannot mutate the cache.
+
+   Both caches are safe under concurrent use from lib/support/pool
+   domains (Lru serializes internally; the metrics registry is guarded
+   here). Counters surface through lib/obs as serve.* metrics; with a
+   profile, each plan-cache lookup is a span on the compiler track. *)
+
+module Api = Distal.Api
+module Dense = Distal_tensor.Dense
+module Obs = Distal_obs
+module Lru = Distal_support.Lru
+module Env = Distal_support.Env
+
+type outcome = {
+  result : Api.Exec.result;
+  fingerprint : string;
+  plan_cached : bool;
+  result_cached : bool;
+}
+
+type t = {
+  plans : (string, Api.plan) Lru.t;
+  results : (string, Api.Exec.result) Lru.t;
+  metrics : Obs.Metrics.registry;
+  domains : int option;
+  m : Mutex.t;  (* guards the metrics registry *)
+}
+
+let default_plan_capacity = 128
+let default_result_capacity = 1024
+
+let create ?plan_cache ?result_cache ?domains () =
+  let plan_capacity =
+    match plan_cache with
+    | Some c -> c
+    | None -> Option.value (Env.serve_cache ()) ~default:default_plan_capacity
+  in
+  let result_capacity =
+    (* Caching results only makes sense while plans are cached too; a
+       plan_cache of 0 (caching off) disables both unless the result
+       capacity was given explicitly. *)
+    match result_cache with
+    | Some c -> c
+    | None -> if plan_capacity = 0 then 0 else default_result_capacity
+  in
+  {
+    plans = Lru.create ~capacity:plan_capacity;
+    results = Lru.create ~capacity:result_capacity;
+    metrics = Obs.Metrics.create ();
+    domains;
+    m = Mutex.create ();
+  }
+
+let metrics t = t.metrics
+
+let count t name v =
+  Mutex.lock t.m;
+  Obs.Metrics.inc (Obs.Metrics.counter t.metrics name) v;
+  Mutex.unlock t.m
+
+let count1 t name = count t name 1.0
+
+let gauge_set t name v =
+  Mutex.lock t.m;
+  Obs.Metrics.set (Obs.Metrics.gauge t.metrics name) v;
+  Mutex.unlock t.m
+
+(* {2 The plan tier} *)
+
+let compile ?profile t req =
+  let fp = Api.request_fingerprint req in
+  let sink = Option.map Obs.Profile.sink profile in
+  let lookup () =
+    Lru.find_or_add t.plans fp (fun () -> Api.compile_request ?profile req)
+  in
+  match Obs.Span.wall sink ~name:"plan cache" ~cat:"compile" lookup with
+  | Error e -> Error e
+  | Ok (plan, status) ->
+      let hit = status = `Hit in
+      count1 t (if hit then "serve.plan_hits" else "serve.plan_misses");
+      (match status with
+      | `Miss (Some _) -> count1 t "serve.plan_evictions"
+      | _ -> ());
+      gauge_set t "serve.plan_entries" (float_of_int (Lru.length t.plans));
+      Ok (plan, hit)
+
+let compile_exn ?profile t req =
+  match compile ?profile t req with Ok r -> r | Error e -> invalid_arg e
+
+(* {2 The result tier} *)
+
+let copy_stats (s : Api.Stats.t) = { s with Api.Stats.time = s.Api.Stats.time }
+
+let copy_result (r : Api.Exec.result) =
+  {
+    Api.Exec.output = Option.map Dense.copy r.Api.Exec.output;
+    stats = copy_stats r.Api.Exec.stats;
+  }
+
+(* Inputs become part of the result key: a seed names the deterministic
+   random_inputs stream; explicit tensors are digested bit-exactly. *)
+let data_key = function
+  | `Seed seed -> Printf.sprintf "seed:%d" seed
+  | `None -> "nodata"
+  | `Data data ->
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun (name, d) ->
+          Buffer.add_string buf name;
+          Buffer.add_char buf ':';
+          Array.iter (fun n -> Buffer.add_string buf (string_of_int n ^ ",")) (Dense.shape d);
+          let a = Dense.unsafe_data d in
+          Array.iter (fun v -> Buffer.add_int64_le buf (Int64.bits_of_float v)) a;
+          Buffer.add_char buf ';')
+        data;
+      "digest:" ^ Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let result_key ~fp ~mode ~faults ~data =
+  let mode_s = match mode with Api.Exec.Model -> "model" | Api.Exec.Full -> "full" in
+  let faults_s = match faults with None -> "-" | Some f -> Api.Fault.to_string f in
+  String.concat "|" [ fp; mode_s; faults_s; data_key data ]
+
+let run ?(mode = Api.Exec.Full) ?faults ?profile ?seed ?data t req =
+  count1 t "serve.requests";
+  match compile ?profile t req with
+  | Error e -> Error e
+  | Ok (plan, plan_cached) -> (
+      let fp = Api.request_fingerprint req in
+      let data_id =
+        match (data, seed) with
+        | Some d, _ -> `Data d
+        | None, Some s -> `Seed s
+        | None, None -> `None
+      in
+      let key = result_key ~fp ~mode ~faults ~data:data_id in
+      match Lru.find t.results key with
+      | Some r ->
+          count1 t "serve.result_hits";
+          Ok { result = copy_result r; fingerprint = fp; plan_cached; result_cached = true }
+      | None -> (
+          count1 t "serve.result_misses";
+          let data =
+            match data_id with
+            | `Data d -> d
+            | `Seed s -> Api.random_inputs ~seed:s plan
+            | `None -> []
+          in
+          (* The run happens outside any cache lock: concurrent misses on
+             one key may race, but the simulator is deterministic so the
+             duplicate results are identical and insertion is idempotent. *)
+          match Api.run ~mode ?domains:t.domains ?profile ?faults plan ~data with
+          | Error e -> Error e
+          | Ok result ->
+              (match Lru.put t.results key (copy_result result) with
+              | Some _ -> count1 t "serve.result_evictions"
+              | None -> ());
+              gauge_set t "serve.result_entries" (float_of_int (Lru.length t.results));
+              Ok { result; fingerprint = fp; plan_cached; result_cached = false }))
+
+let run_exn ?mode ?faults ?profile ?seed ?data t req =
+  match run ?mode ?faults ?profile ?seed ?data t req with
+  | Ok o -> o
+  | Error e -> invalid_arg e
+
+(* {2 Introspection} *)
+
+type counters = {
+  requests : int;
+  plan_hits : int;
+  plan_misses : int;
+  plan_evictions : int;
+  result_hits : int;
+  result_misses : int;
+  result_evictions : int;
+}
+
+let counters t =
+  let c name =
+    Mutex.lock t.m;
+    let v = match Obs.Metrics.value t.metrics name with Some v -> int_of_float v | None -> 0 in
+    Mutex.unlock t.m;
+    v
+  in
+  {
+    requests = c "serve.requests";
+    plan_hits = Lru.hits t.plans;
+    plan_misses = Lru.misses t.plans;
+    plan_evictions = Lru.evictions t.plans;
+    result_hits = c "serve.result_hits";
+    result_misses = c "serve.result_misses";
+    result_evictions = c "serve.result_evictions";
+  }
+
+let cached_plans t = Lru.length t.plans
+let cached_results t = Lru.length t.results
+
+let clear t =
+  Lru.clear t.plans;
+  Lru.clear t.results

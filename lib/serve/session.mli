@@ -1,0 +1,98 @@
+(** The session layer of compile-and-serve: {!Distal.Api} with
+    compilation — and, for byte-identical repeated requests, execution —
+    amortized across calls.
+
+    A session holds two LRU tiers keyed on
+    {!Distal.Api.request_fingerprint}: a {e plan cache} (parse /
+    typecheck / schedule / lower once per distinct request shape;
+    compilation is single-flight, and plan reuse never re-lowers) and a
+    {e result cache} (the simulator is a deterministic pure function of
+    plan x data, so identical requests replay the finished result).
+    Served results are byte-identical to direct [Api.run_exn] — cache
+    hits return defensive copies.
+
+    Sessions are safe under concurrent use from {!Distal_support.Pool}
+    domains. Counters surface as [serve.*] metrics through the session's
+    {!Distal_obs.Metrics} registry; with a [profile], plan-cache lookups
+    appear as spans on the profile's compiler track. *)
+
+module Api = Distal.Api
+
+type t
+
+val default_plan_capacity : int
+(** 128 *)
+
+val default_result_capacity : int
+(** 1024 *)
+
+val create : ?plan_cache:int -> ?result_cache:int -> ?domains:int -> unit -> t
+(** [plan_cache] defaults to [DISTAL_SERVE_CACHE] (else 128) entries; [0]
+    disables caching (every request compiles and runs). [result_cache]
+    defaults to 1024, or [0] whenever the plan cache is disabled.
+    [domains] pins the executor's host domain-pool size — pass [~domains:1]
+    when sessions are driven from inside pool lanes (the pool is not
+    reentrant). *)
+
+val metrics : t -> Distal_obs.Metrics.registry
+(** The [serve.*] registry: [serve.requests], [serve.plan_hits]/
+    [_misses]/[_evictions], [serve.result_hits]/[_misses]/[_evictions],
+    [serve.plan_entries]/[serve.result_entries] gauges. *)
+
+val compile :
+  ?profile:Distal_obs.Profile.t -> t -> Api.request -> (Api.plan * bool, string) result
+(** The plan tier alone: the compiled plan and whether it was a cache
+    hit. *)
+
+val compile_exn : ?profile:Distal_obs.Profile.t -> t -> Api.request -> Api.plan * bool
+
+type outcome = {
+  result : Api.Exec.result;
+  fingerprint : string;
+  plan_cached : bool;
+  result_cached : bool;
+}
+
+val run :
+  ?mode:Api.Exec.mode ->
+  ?faults:Api.Fault.t ->
+  ?profile:Distal_obs.Profile.t ->
+  ?seed:int ->
+  ?data:(string * Distal_tensor.Dense.t) list ->
+  t ->
+  Api.request ->
+  (outcome, string) result
+(** Serve one request (default mode [Full]). Input data comes from
+    [data] when given, else from [Api.random_inputs ~seed] when [seed]
+    is given, else the request runs with no data (the [Model] pattern).
+    The result-cache key covers mode, fault plan and input identity
+    (seed, or a bit-exact digest of [data]), so a hit is only ever
+    returned for a run that would have produced identical bytes. *)
+
+val run_exn :
+  ?mode:Api.Exec.mode ->
+  ?faults:Api.Fault.t ->
+  ?profile:Distal_obs.Profile.t ->
+  ?seed:int ->
+  ?data:(string * Distal_tensor.Dense.t) list ->
+  t ->
+  Api.request ->
+  outcome
+
+type counters = {
+  requests : int;
+  plan_hits : int;
+  plan_misses : int;
+  plan_evictions : int;
+  result_hits : int;
+  result_misses : int;
+  result_evictions : int;
+}
+
+val counters : t -> counters
+
+val cached_plans : t -> int
+val cached_results : t -> int
+
+val clear : t -> unit
+(** Drop both tiers (counters are kept). *)

@@ -50,3 +50,28 @@ let bool_var ~default name =
       | "1" | "true" | "yes" | "on" -> true
       | "0" | "false" | "no" | "off" -> false
       | _ -> malformed name s "a boolean (0/1/true/false/yes/no/on/off)")
+
+let non_negative_int_var name =
+  match lookup name with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> Some n
+      | Some _ | None -> malformed name s "a non-negative integer")
+
+let non_negative_float_var name =
+  match lookup name with
+  | None -> None
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some f when Float.is_finite f && f >= 0.0 -> Some f
+      | Some _ | None -> malformed name s "a non-negative finite number")
+
+(* The serving knobs (lib/serve, bin/distald). Parsed here so distald,
+   the session layer and the tests agree on the validation rules. *)
+
+let serve_queue () = positive_int_var "DISTAL_SERVE_QUEUE"
+
+let serve_batch_window () = non_negative_float_var "DISTAL_SERVE_BATCH_WINDOW"
+
+let serve_cache () = non_negative_int_var "DISTAL_SERVE_CACHE"

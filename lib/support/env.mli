@@ -22,3 +22,26 @@ val float_var : string -> float option
 val bool_var : default:bool -> string -> bool
 (** Accepts [0/1/true/false/yes/no/on/off] (case-insensitive).
     @raise Invalid_argument on anything else. *)
+
+val non_negative_int_var : string -> int option
+(** @raise Invalid_argument when set but not an integer [>= 0]. *)
+
+val non_negative_float_var : string -> float option
+(** @raise Invalid_argument when set but not a finite number [>= 0]. *)
+
+(** {2 Serving knobs}
+
+    The [distald]/[lib/serve] configuration variables, validated here so
+    every consumer rejects malformed values identically. See the README's
+    environment-variable table for semantics and defaults. *)
+
+val serve_queue : unit -> int option
+(** [DISTAL_SERVE_QUEUE]: admission-control queue bound (positive). *)
+
+val serve_batch_window : unit -> float option
+(** [DISTAL_SERVE_BATCH_WINDOW]: batching window in seconds
+    (non-negative; [0] serves every request immediately). *)
+
+val serve_cache : unit -> int option
+(** [DISTAL_SERVE_CACHE]: plan-cache capacity in entries ([0] disables
+    caching). *)

@@ -1,0 +1,35 @@
+(** A minimal JSON tree, printer and parser.
+
+    The container has no JSON package, so every producer and consumer of
+    JSON in the tree — the observability exporters (Chrome traces, bench
+    trajectories, metric snapshots) and the [distald] wire protocol —
+    shares this one small implementation; in particular string escaping
+    is fixed here and nowhere else. The printer always emits valid JSON
+    (non-finite floats become [null]); finite floats are printed with the
+    shortest representation that round-trips through [float_of_string],
+    so a parse of our own output reproduces the bits. The parser accepts
+    exactly the JSON grammar. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented rendering (for files meant to be diffed). *)
+
+val parse : string -> (t, string) result
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] looks up key [k]; [None] on missing key or
+    non-object. *)
+
+val to_float : t -> float option
+(** Numeric value of an [Int] or [Float] node. *)

@@ -1,0 +1,164 @@
+(* A mutex-protected LRU cache with hit/miss/eviction counters.
+
+   This is the substrate of the serving layer's plan and result caches
+   (lib/serve): lookups promote to most-recently-used, inserts beyond
+   capacity evict the least-recently-used entry, and every operation is
+   serialized by an internal mutex so sessions can be driven concurrently
+   from the domains of {!Pool} without external locking.
+
+   Recency is a doubly-linked list threaded through the entries; the
+   hashtable maps keys to their list node, so find/put/remove are O(1).
+   [find_or_add] holds the mutex across the compute function, which makes
+   the computation single-flight: two domains racing on the same missing
+   key compute it once. Compute functions must therefore be quick (plan
+   compilation is) and must never re-enter the same cache. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;  (* towards MRU *)
+  mutable next : ('k, 'v) node option;  (* towards LRU *)
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  m : Mutex.t;
+  mutable head : ('k, 'v) node option;  (* MRU *)
+  mutable tail : ('k, 'v) node option;  (* LRU *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Lru.create: capacity must be >= 0";
+  {
+    capacity;
+    table = Hashtbl.create (max 16 capacity);
+    m = Mutex.create ();
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.capacity
+
+let locked t f =
+  Mutex.lock t.m;
+  match f () with
+  | v ->
+      Mutex.unlock t.m;
+      v
+  | exception e ->
+      Mutex.unlock t.m;
+      raise e
+
+(* {2 List surgery — caller holds the mutex} *)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let promote t n =
+  if t.head != Some n then begin
+    unlink t n;
+    push_front t n
+  end
+
+let evict_lru t =
+  match t.tail with
+  | None -> None
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table n.key;
+      t.evictions <- t.evictions + 1;
+      Some (n.key, n.value)
+
+let insert t key value =
+  (* Caller holds the mutex; key known absent. Returns the evicted
+     binding, if inserting overflowed the capacity. *)
+  if t.capacity = 0 then None
+  else begin
+    let n = { key; value; prev = None; next = None } in
+    Hashtbl.replace t.table key n;
+    push_front t n;
+    if Hashtbl.length t.table > t.capacity then evict_lru t else None
+  end
+
+(* {2 Public operations} *)
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some n ->
+          promote t n;
+          t.hits <- t.hits + 1;
+          Some n.value
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let mem t key = locked t (fun () -> Hashtbl.mem t.table key)
+
+let put t key value =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some n ->
+          n.value <- value;
+          promote t n;
+          None
+      | None -> insert t key value)
+
+let find_or_add t key compute =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some n ->
+          promote t n;
+          t.hits <- t.hits + 1;
+          Ok (n.value, `Hit)
+      | None -> (
+          t.misses <- t.misses + 1;
+          match compute () with
+          | Error _ as e -> e
+          | Ok v ->
+              let evicted = insert t key v in
+              Ok (v, `Miss evicted)))
+
+let remove t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | None -> false
+      | Some n ->
+          unlink t n;
+          Hashtbl.remove t.table key;
+          true)
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      t.head <- None;
+      t.tail <- None)
+
+let length t = locked t (fun () -> Hashtbl.length t.table)
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
+let evictions t = locked t (fun () -> t.evictions)
+
+let keys_mru t =
+  locked t (fun () ->
+      let rec go acc = function
+        | None -> List.rev acc
+        | Some n -> go (n.key :: acc) n.next
+      in
+      go [] t.head)

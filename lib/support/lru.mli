@@ -1,0 +1,49 @@
+(** A mutex-protected LRU cache with hit/miss/eviction counters.
+
+    The substrate of the serving layer's plan and result caches
+    (lib/serve). All operations are serialized internally, so a cache may
+    be shared by the domains of {!Pool} without external locking. A
+    capacity of [0] is a valid always-miss cache (caching disabled). *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** @raise Invalid_argument when [capacity < 0]. *)
+
+val capacity : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; a hit promotes the entry to most-recently-used. Counts
+    towards {!hits} / {!misses}. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Membership without promotion or counter updates. *)
+
+val put : ('k, 'v) t -> 'k -> 'v -> ('k * 'v) option
+(** Insert or overwrite (either way the entry becomes MRU); returns the
+    evicted least-recently-used binding when the insert overflowed the
+    capacity. A capacity-0 cache drops the value and returns [None]. *)
+
+val find_or_add :
+  ('k, 'v) t ->
+  'k ->
+  (unit -> ('v, 'e) result) ->
+  ('v * [ `Hit | `Miss of ('k * 'v) option ], 'e) result
+(** Atomic lookup-or-compute: on a miss, [compute] runs under the cache
+    mutex (single-flight — concurrent misses on one key compute once) and
+    the result is inserted; [`Miss evicted] carries the binding the
+    insert displaced. [compute] must be quick and must not touch this
+    cache. A computation returning [Error] caches nothing. *)
+
+val remove : ('k, 'v) t -> 'k -> bool
+
+val clear : ('k, 'v) t -> unit
+
+val length : ('k, 'v) t -> int
+
+val hits : ('k, 'v) t -> int
+val misses : ('k, 'v) t -> int
+val evictions : ('k, 'v) t -> int
+
+val keys_mru : ('k, 'v) t -> 'k list
+(** Keys most-recently-used first (the eviction order reversed). *)

@@ -1,0 +1,101 @@
+(* Length-prefixed JSONL framing for the distald wire protocol.
+
+   A frame is an 8-digit zero-padded decimal byte length, a newline, the
+   payload (one JSON document, by convention on a single line), and a
+   trailing newline:
+
+     00000042\n{"type":"submit","id":1,...}\n
+
+   The fixed-width prefix keeps framing trivial to parse incrementally
+   (no escaping questions — the payload length is known before the
+   payload is read) while `socat`/`nc` transcripts stay human-readable
+   JSONL. Reads distinguish a clean EOF on a frame boundary (None) from
+   a connection dying mid-frame (Error), which is how the server detects
+   clients killed mid-request. *)
+
+let max_frame = 64 * 1024 * 1024
+let header_len = 9 (* 8 digits + '\n' *)
+
+let encode payload =
+  let n = String.length payload in
+  if n > max_frame then
+    invalid_arg (Printf.sprintf "Wire.encode: frame of %d bytes exceeds %d" n max_frame);
+  Printf.sprintf "%08d\n%s\n" n payload
+
+(* {2 Blocking fd transport} *)
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = try Unix.write_substring fd s off len with Unix.Unix_error (Unix.EINTR, _, _) -> 0 in
+    write_all fd s (off + n) (len - n)
+  end
+
+let send fd payload =
+  let frame = encode payload in
+  write_all fd frame 0 (String.length frame)
+
+let rec read_exact fd buf off len =
+  if len = 0 then `Done
+  else
+    match Unix.read fd buf off len with
+    | 0 -> `Eof off
+    | n -> read_exact fd buf (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_exact fd buf off len
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> `Eof off
+
+let parse_header bytes =
+  let s = Bytes.sub_string bytes 0 (header_len - 1) in
+  if Bytes.get bytes (header_len - 1) <> '\n' then
+    Error (Printf.sprintf "bad frame header %S" s)
+  else
+    match int_of_string_opt s with
+    | Some n when n >= 0 && n <= max_frame -> Ok n
+    | Some n -> Error (Printf.sprintf "frame length %d out of range" n)
+    | None -> Error (Printf.sprintf "bad frame header %S" s)
+
+let recv fd =
+  let hdr = Bytes.create header_len in
+  match read_exact fd hdr 0 header_len with
+  | `Eof 0 -> Ok None (* clean close on a frame boundary *)
+  | `Eof _ -> Error "connection closed inside a frame header"
+  | `Done -> (
+      match parse_header hdr with
+      | Error _ as e -> e
+      | Ok n -> (
+          let payload = Bytes.create (n + 1) in
+          match read_exact fd payload 0 (n + 1) with
+          | `Eof _ -> Error "connection closed inside a frame payload"
+          | `Done ->
+              if Bytes.get payload n <> '\n' then Error "frame missing trailing newline"
+              else Ok (Some (Bytes.sub_string payload 0 n))))
+
+(* {2 Incremental decoding (for select-driven loops)} *)
+
+type decoder = { buf : Buffer.t }
+
+let decoder () = { buf = Buffer.create 256 }
+let feed d s off len = Buffer.add_subbytes d.buf s off len
+let pending d = Buffer.length d.buf > 0
+
+let next d =
+  let len = Buffer.length d.buf in
+  if len < header_len then Ok None
+  else begin
+    let hdr = Bytes.of_string (Buffer.sub d.buf 0 header_len) in
+    match parse_header hdr with
+    | Error _ as e -> e
+    | Ok n ->
+        let total = header_len + n + 1 in
+        if len < total then Ok None
+        else begin
+          let payload = Buffer.sub d.buf header_len n in
+          if Buffer.nth d.buf (total - 1) <> '\n' then
+            Error "frame missing trailing newline"
+          else begin
+            let rest = Buffer.sub d.buf total (len - total) in
+            Buffer.clear d.buf;
+            Buffer.add_string d.buf rest;
+            Ok (Some payload)
+          end
+        end
+  end
