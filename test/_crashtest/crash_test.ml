@@ -1,0 +1,23 @@
+let () =
+  let sock = "/tmp/distald_test.sock" in
+  let pid = Unix.create_process "./_build/default/bin/distald.exe"
+      [| "distald"; "--socket"; sock; "--quiet" |] Unix.stdin Unix.stdout Unix.stderr in
+  Unix.sleepf 0.3;
+  let c = Distal_serve.Client.connect_exn sock in
+  let s = Distal_serve.Protocol.submit ~id:1 ~machine_dims:[|2;2|]
+      ~tensors:[ { Distal_serve.Protocol.td_name = "A"; td_shape = [| -4; 4 |]; td_dist = "[x,y] -> [x,y]" };
+                 { Distal_serve.Protocol.td_name = "B"; td_shape = [| -4; 4 |]; td_dist = "[x,y] -> [x,y]" } ]
+      ~stmt:"A(i,j) += B(i,j)" ~schedule:"" () in
+  (match Distal_serve.Client.submit c s with
+   | Ok (Distal_serve.Client.Ok_result _) -> print_endline "got result"
+   | Ok (Distal_serve.Client.Failed r) -> print_endline ("failed cleanly: " ^ r)
+   | Ok (Distal_serve.Client.Rejected _) -> print_endline "rejected"
+   | Error e -> print_endline ("transport error: " ^ e));
+  Unix.sleepf 0.3;
+  (match Unix.waitpid [ Unix.WNOHANG ] pid with
+   | 0, _ -> print_endline "server still alive"; Unix.kill pid Sys.sigterm; ignore (Unix.waitpid [] pid)
+   | _, st ->
+       (match st with
+        | Unix.WEXITED n -> Printf.printf "SERVER DIED exit %d\n" n
+        | Unix.WSIGNALED n -> Printf.printf "SERVER DIED signal %d\n" n
+        | Unix.WSTOPPED _ -> print_endline "stopped"))
