@@ -472,6 +472,70 @@ let simperf_run ~small () =
         ("fault.nocheckpoint_overhead", nocheckpoint_overhead, "s");
         ("fault.recovery_overhead", recovery_overhead, "x");
       ];
+  (* The auto-scheduler (lib/algorithms/auto): cold search wall time,
+     pruning/memoization counters, byte-identity of the chosen ranking
+     across pool sizes, and the match-or-beat gate against the harness's
+     hand schedules. [auto.candidates_pruned] (> 0), [auto.pool_identical]
+     (= 1) and [auto.vs_hand_min_ratio] (>= 1) are gated by
+     validate_bench; [auto.search_wall_s] joins the baseline guard. *)
+  let module Auto = Distal_algorithms.Auto in
+  let module Auto_compare = Distal_harness.Auto_compare in
+  let auto_n, auto_procs = if small then (512, 8) else (8192, 16) in
+  let machine_of grid = Machine.grid ~kind:Machine.Cpu ~mem_per_proc:256e9 grid in
+  let auto_stmt = "A(i,j) = B(i,k) * C(k,j)" in
+  let auto_shapes =
+    [ ("A", [| auto_n; auto_n |]); ("B", [| auto_n; auto_n |]); ("C", [| auto_n; auto_n |]) ]
+  in
+  let auto_search ~domains () =
+    match
+      Auto.search_report ~domains ~machine_of ~procs:auto_procs ~stmt:auto_stmt
+        ~shapes:auto_shapes ()
+    with
+    | Ok r -> r
+    | Error e -> failwith ("simperf auto search failed: " ^ e)
+  in
+  Auto.clear_cache ();
+  let cold_cs, cold = auto_search ~domains:1 () in
+  let warm_cs, warm = auto_search ~domains:3 () in
+  let rendering (cs, (r : Auto.report)) =
+    ( List.map Auto.describe cs,
+      (r.Auto.enumerated, r.Auto.deduped, r.Auto.pruned, r.Auto.probed) )
+  in
+  let pool_identical =
+    if rendering (cold_cs, cold) = rendering (warm_cs, warm) then 1.0 else 0.0
+  in
+  let memo_speedup =
+    if warm.Auto.wall_s > 0.0 then cold.Auto.wall_s /. warm.Auto.wall_s else 0.0
+  in
+  let vs_hand =
+    let rows =
+      if small then Auto_compare.rows ~procs:4 ~n:256 ~jk:64 ~i1:128 ()
+      else Auto_compare.rows ~procs:16 ~n:4096 ~jk:256 ~i1:1024 ()
+    in
+    Auto_compare.min_ratio rows
+  in
+  Distal_support.Table.add_row table
+    [
+      "auto (cold vs memoized)";
+      Printf.sprintf "%.3f ms" (cold.Auto.wall_s *. 1e3);
+      Printf.sprintf "%.3f ms" (warm.Auto.wall_s *. 1e3);
+      Printf.sprintf "%.1fx" memo_speedup;
+      "-"; "-"; "-"; "-"; "-";
+    ];
+  metrics :=
+    !metrics
+    @ [
+        ("auto.search_wall_s", cold.Auto.wall_s, "s");
+        ("auto.candidates_enumerated", float_of_int cold.Auto.enumerated, "candidates");
+        ( "auto.candidates_pruned",
+          float_of_int (cold.Auto.deduped + cold.Auto.pruned),
+          "candidates" );
+        ("auto.candidates_probed", float_of_int cold.Auto.probed, "candidates");
+        ("auto.memo_hits", float_of_int warm.Auto.memo_hits, "probes");
+        ("auto.memo_speedup", memo_speedup, "x");
+        ("auto.pool_identical", pool_identical, "bool");
+        ("auto.vs_hand_min_ratio", vs_hand, "x");
+      ];
   Distal_support.Table.print table;
   let json =
     Json.Obj
@@ -694,7 +758,7 @@ let fig9 () =
   print_endline "(schedules printed by examples/algorithms_tour.exe)";
   print_newline ()
 
-(* The auto-scheduler (§9) against the hand schedules of Fig. 9. *)
+(* The auto-scheduler (§9) against the hand schedules of Fig. 9 / §7.2. *)
 let auto () =
   print_endline "== auto: automatic schedule/format selection vs hand schedules ==";
   let module Auto = Distal_algorithms.Auto in
@@ -705,12 +769,11 @@ let auto () =
   let machine_of grid = Machine.grid ~kind:Machine.Cpu ~mem_per_proc:256e9 grid in
   let shapes = [ ("A", [| n; n |]); ("B", [| n; n |]); ("C", [| n; n |]) ] in
   (match
-     Auto.search ~machine_of ~procs ~stmt:"A(i,j) = B(i,k) * C(k,j)" ~shapes ()
+     Auto.search_report ~machine_of ~procs ~stmt:"A(i,j) = B(i,k) * C(k,j)" ~shapes ()
    with
   | Error e -> Printf.printf "search failed: %s\n" e
-  | Ok cs ->
-      Printf.printf "GEMM n=%d on %d CPUs: %d candidates searched; top three:\n" n procs
-        (List.length cs);
+  | Ok (cs, report) ->
+      Printf.printf "GEMM n=%d on %d CPUs: %s\n" n procs (Auto.describe_report report);
       List.iteri
         (fun i c -> if i < 3 then Printf.printf "  %d. %s\n" (i + 1) (Auto.describe c))
         cs;
@@ -727,6 +790,14 @@ let auto () =
   | Error e -> Printf.printf "search failed: %s\n" e
   | Ok best ->
       Printf.printf "TTV on %d CPUs: auto picks %s\n" procs (Auto.describe best));
+  let hits, misses, evictions = Auto.cache_stats () in
+  Printf.printf "probe cache: %d hits, %d misses, %d evictions; pack_overhead %.3g ns\n"
+    hits misses evictions
+    (Distal_machine.Calibrate.pack_overhead () *. 1e9);
+  print_newline ();
+  print_endline "-- auto vs hand schedules (modeled time, same cost model) --";
+  Distal_harness.Auto_compare.print
+    (Distal_harness.Auto_compare.rows ~procs:16 ~n:4096 ~jk:256 ~i1:1024 ());
   print_newline ()
 
 (* {2 The profile subcommand} *)

@@ -18,10 +18,15 @@
    other than [*.wall_s] are informational and never gate — except
    [*.coalesce_speedup], which must never fall below 1.0 (communication
    planning losing to not planning is a planner regression regardless of
-   the host), and [*.hot_cache_speedup], which must reach at least 5.0
+   the host), [*.hot_cache_speedup], which must reach at least 5.0
    (a hot serving-cache request that is not clearly cheaper than a cold
    compile-and-run means the serving layer has stopped paying for
-   itself). *)
+   itself), and the auto-scheduler invariants: [*.candidates_pruned]
+   must be positive (the dedup/bound machinery must reject something on
+   any non-trivial search), [*.pool_identical] must be exactly 1 (the
+   chosen ranking may not depend on the domain-pool size) and
+   [*.vs_hand_min_ratio] must be at least 1.0 (the search may never lose
+   to a hand schedule inside its own space). *)
 
 module Json = Distal_support.Json
 
@@ -136,7 +141,20 @@ let check_speedups () =
         fail "%s is %g s: fault-free run without checkpointing must cost exactly 0"
           name v;
       if String.ends_with ~suffix:".hot_cache_speedup" name && v < 5.0 then
-        fail "%s is %.1fx: hot serving-cache requests must be at least 5x cold" name v)
+        fail "%s is %.1fx: hot serving-cache requests must be at least 5x cold" name v;
+      if String.ends_with ~suffix:".candidates_pruned" name && v <= 0.0 then
+        fail
+          "%s is %g: the auto-scheduler's canonicalization/stat bounds pruned nothing"
+          name v;
+      if String.ends_with ~suffix:".pool_identical" name && v <> 1.0 then
+        fail
+          "%s is %g: auto-scheduler search must be byte-identical at every pool size"
+          name v;
+      if String.ends_with ~suffix:".vs_hand_min_ratio" name && v < 1.0 then
+        fail
+          "%s is %.3fx: the auto-scheduler lost to a hand schedule it should match or \
+           beat"
+          name v)
     !seen_metrics
 
 let check file =

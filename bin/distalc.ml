@@ -18,7 +18,14 @@
                    split(k, ko, ki, 4); reorder(ko, ii, ji, ki);
                    communicate(A, jo); communicate({B,C}, ko);
                    substitute({ii,ji,ki}, gemm)' \
-       --validate --estimate *)
+       --validate --estimate
+
+   With --auto PROCS the distribution and schedule are searched for
+   instead (declarations need only name:dims):
+
+     distalc --auto 16 \
+       --tensor A:4096x4096 --tensor B:4096x4096 --tensor C:4096x4096 \
+       --stmt 'A(i,j) = B(i,k) * C(k,j)' --estimate *)
 
 module Api = Distal.Api
 module Machine = Api.Machine
@@ -40,6 +47,61 @@ let parse_tensor_decl s =
       let* dist = Distal_ir.Distnot.parse dist in
       Ok (Api.tensor_d name shape dist)
   | _ -> errf "bad tensor declaration %S (expected name:dims:dist)" s
+
+(* {2 Auto mode: cost-guided schedule search}
+
+   With --auto PROCS the schedule (and the tensors' distributions) are
+   chosen by the Auto search instead of being spelled out: declarations
+   need only name:dims, the search enumerates distributions and schedules
+   over PROCS processors, and the report shows how many candidates were
+   probed, pruned and answered from the memo cache. *)
+
+let parse_auto_shape s =
+  match String.split_on_char ':' s with
+  | name :: dims :: _ ->
+      let* shape = if dims = "scalar" then Ok [||] else parse_dims dims in
+      Ok (name, shape)
+  | _ -> errf "bad tensor declaration %S (expected name:dims)" s
+
+let run_auto ~procs ~gpu ~tensors ~stmt ~validate ~estimate ~quiet =
+  let module Auto = Distal_algorithms.Auto in
+  let* stmt =
+    match stmt with Some s -> Ok s | None -> Error "missing required option --stmt"
+  in
+  let* shapes =
+    List.fold_left
+      (fun acc s ->
+        let* acc = acc in
+        let* t = parse_auto_shape s in
+        Ok (t :: acc))
+      (Ok []) tensors
+  in
+  let shapes = List.rev shapes in
+  let kind = if gpu then Machine.Gpu else Machine.Cpu in
+  let mem = if gpu then 16e9 else 256e9 in
+  let machine_of grid = Machine.grid ~kind ~mem_per_proc:mem grid in
+  let* cs, report = Auto.search_report ~machine_of ~procs ~stmt ~shapes () in
+  let best = List.hd cs in
+  Printf.printf "auto: %s\n" (Auto.describe best);
+  Printf.printf "auto: %s\n" (Auto.describe_report report);
+  let hits, misses, evictions = Auto.cache_stats () in
+  Printf.printf "auto: probe cache %d hits, %d misses, %d evictions\n" hits misses
+    evictions;
+  if not quiet then print_endline (Api.describe best.Auto.plan);
+  let* () =
+    if validate then begin
+      let* () = Api.validate best.Auto.plan in
+      print_endline "validation: OK (distributed result matches serial reference)";
+      Ok ()
+    end
+    else Ok ()
+  in
+  if estimate then begin
+    let s = best.Auto.stats in
+    Printf.printf "estimate: %s\n" (Stats.to_string s);
+    Printf.printf "estimate: %.2f GFLOP/s across %d processors\n" (Stats.gflops s) procs
+  end;
+  Ok ()
 
 (* {2 Client mode: ship the request to a running distald}
 
@@ -245,16 +307,26 @@ let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
          ~doc:"With --connect: the deterministic input stream the daemon runs on.")
 
+let auto_arg =
+  Arg.(value & opt (some int) None & info [ "auto" ] ~docv:"PROCS"
+         ~doc:"Choose distributions and a schedule automatically by cost-guided \
+               search over $(docv) processors (tensor declarations need only \
+               name:dims; --machine and --schedule are ignored). Prints the chosen \
+               candidate and the search report: candidates probed, pruned and \
+               answered from the memo cache.")
+
 let cmd =
   let doc = "compile tensor index notation to a distributed task program" in
   let run machine_dims gpu tensors stmt schedule validate estimate quiet emit_legion
-      profile_out faults connect serve_stats serve_shutdown seed =
+      profile_out faults connect serve_stats serve_shutdown seed auto =
     let result =
-      match connect with
-      | Some socket ->
+      match (auto, connect) with
+      | Some _, Some _ -> Error "--auto cannot be combined with --connect"
+      | Some procs, None -> run_auto ~procs ~gpu ~tensors ~stmt ~validate ~estimate ~quiet
+      | None, Some socket ->
           run_connect ~socket ~serve_stats ~serve_shutdown ~machine_dims ~gpu ~tensors
             ~stmt ~schedule ~estimate ~seed ~faults
-      | None ->
+      | None, None ->
           if serve_stats || serve_shutdown then
             Error "--serve-stats/--serve-shutdown need --connect"
           else
@@ -269,6 +341,7 @@ let cmd =
       ret
         (const run $ machine_arg $ gpu_arg $ tensor_arg $ stmt_arg $ schedule_arg
        $ validate_arg $ estimate_arg $ quiet_arg $ emit_legion_arg $ profile_arg
-       $ faults_arg $ connect_arg $ serve_stats_arg $ serve_shutdown_arg $ seed_arg))
+       $ faults_arg $ connect_arg $ serve_stats_arg $ serve_shutdown_arg $ seed_arg
+       $ auto_arg))
 
 let () = exit (Cmd.eval cmd)

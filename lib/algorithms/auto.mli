@@ -3,18 +3,39 @@
     "provide a mechanism for future work to target when automatically
     scheduling computations for distribution", §7.2).
 
-    The search enumerates, for a statement and a processor count:
+    A staged, cost-guided search with the simulator's own cost model as
+    the objective. Candidates are enumerated lazily by stage —
+
     - which index variables to distribute (including reduction variables,
       which induces distributed reductions);
-    - how to factor the processors into a machine grid over them;
-    - the induced data distributions (each tensor partitioned by the
-      distributed variables that index it, fixed to the face of the
-      machine dimensions that do not — the generalized-Johnson layout);
-    - communication aggregated at the innermost distributed loop, and the
-      leaf handed to a substituted kernel when the statement matches one.
+    - how to factor the processors into a machine grid over them
+      (grids canonicalized: size-1 dimensions drop with their variable,
+      so equivalent candidates are probed once and counted as dedups);
+    - where to aggregate each tensor's communication (per-tensor
+      placement: the innermost distributed loop, or the innermost
+      distributed loop indexing the tensor);
+    - whether to replicate unpartitioned inputs (the 3-D-algorithm
+      memory/communication tradeoff of §4);
 
-    Every candidate is compiled and costed on the simulator; candidates
-    that exceed processor memory are kept but ranked last. *)
+    — then pruned with {!Tensor_stats} bounds (certain residency vs
+    processor memory, modeled-time lower bound vs the best candidate so
+    far) before anything is compiled. Surviving candidates are compiled
+    and model-run in fixed-size waves on the {!Distal_support.Pool}
+    domain pool, with probes memoized process-wide in an
+    {!Distal_support.Lru} keyed on the candidate's request fingerprint
+    plus the cost model digest ([DISTAL_AUTO_CACHE] sets the capacity).
+    The chosen plan is byte-identical at every pool size: waves have a
+    constant width, lanes stripe into a results array by candidate
+    index, and the reduction folds that array in enumeration order.
+
+    When no [?cost] is given, the machine's default cost model is used
+    with its [pack_overhead] replaced by the measured value from
+    {!Distal_machine.Calibrate}, so the search trades strided packing
+    against redistribution on calibrated numbers.
+
+    Candidates that exceed processor memory and are probed anyway (they
+    can still be pruned only once a feasible best exists) are kept but
+    ranked last. *)
 
 type candidate = {
   dist_vars : Distal_ir.Ident.t list;
@@ -23,22 +44,52 @@ type candidate = {
   stats : Distal_runtime.Stats.t;
 }
 
+type report = {
+  enumerated : int;  (** staged expansions considered, duplicates included *)
+  deduped : int;  (** skipped as canonical/fingerprint duplicates *)
+  pruned : int;  (** rejected by stat bounds before compilation *)
+  probed : int;  (** compiled and model-run (memoized hits included) *)
+  memo_hits : int;  (** probes answered from the process-wide cache *)
+  infeasible : int;  (** probes that failed to compile or run *)
+  last_error : string option;  (** the most recent probe failure *)
+  wall_s : float;  (** search wall-clock seconds *)
+}
+
 val search :
   ?max_dist_vars:int ->
   ?cost:Distal_machine.Cost_model.t ->
+  ?domains:int ->
   machine_of:(int array -> Distal_machine.Machine.t) ->
   procs:int ->
   stmt:string ->
   shapes:(string * int array) list ->
   unit ->
   (candidate list, string) result
-(** Candidates sorted by modeled time (non-OOM first). [machine_of] builds
-    the target machine from a grid (so callers control processor kind,
-    memory and node grouping). *)
+(** Candidates sorted by modeled time (non-OOM first; enumeration order
+    breaks exact ties, so the ranking is deterministic). [machine_of]
+    builds the target machine from a grid (so callers control processor
+    kind, memory and node grouping); [domains] sizes the probe pool
+    (default [DISTAL_NUM_DOMAINS]) and never affects the result. On
+    failure the message carries the search diagnostics: enumerated,
+    deduplicated, pruned and infeasible counts plus the last probe
+    error. *)
+
+val search_report :
+  ?max_dist_vars:int ->
+  ?cost:Distal_machine.Cost_model.t ->
+  ?domains:int ->
+  machine_of:(int array -> Distal_machine.Machine.t) ->
+  procs:int ->
+  stmt:string ->
+  shapes:(string * int array) list ->
+  unit ->
+  (candidate list * report, string) result
+(** {!search} plus the search's counters and wall time. *)
 
 val best :
   ?max_dist_vars:int ->
   ?cost:Distal_machine.Cost_model.t ->
+  ?domains:int ->
   machine_of:(int array -> Distal_machine.Machine.t) ->
   procs:int ->
   stmt:string ->
@@ -47,3 +98,11 @@ val best :
   (candidate, string) result
 
 val describe : candidate -> string
+
+val describe_report : report -> string
+
+val cache_stats : unit -> int * int * int
+(** Hits, misses and evictions of the process-wide probe cache. *)
+
+val clear_cache : unit -> unit
+(** Drop every memoized probe (for cold-search measurements). *)

@@ -1,0 +1,130 @@
+(* Galley-style per-tensor statistics for search pruning.
+
+   For every access of a candidate's statement we derive, without
+   compiling anything, the shape of the tile a processor would hold under
+   the candidate's induced distribution, and from the tiles three sound
+   bounds on what the simulator will report:
+
+   - [resident_bytes]: memory the busiest processor certainly holds —
+     its output tile plus every replicated input's tile. If this exceeds
+     the machine's per-processor memory the candidate is certainly OOM.
+   - [moved_bytes]: bytes some processor certainly receives — one tile
+     for every tensor whose distribution pins it to a machine face the
+     processor is not on (a fetch), including output tiles that must be
+     combined across a distributed reduction.
+   - [time_lb]: a lower bound on the modeled execution time: per-task
+     overhead plus the larger of the compute floor (evenly divided flops
+     at full rate) and the communication floor ([moved_bytes] at the
+     fastest link bandwidth, which matches the model's overlap semantics
+     where a step costs max(compute, comm)).
+
+   Soundness direction matters: every quantity here is a lower bound on
+   what the cost model will charge, so pruning "lower bound beats the
+   current best" can never discard the true winner. *)
+
+module Expr = Distal_ir.Expr
+module Cost = Distal_machine.Cost_model
+module Ident = Distal_ir.Ident
+
+type t = {
+  tensor : string;
+  tile_bytes : float;  (** bytes of one tile under the induced distribution *)
+  fetched : bool;  (** some distributed machine axis does not index it *)
+  replicated : bool;  (** stored on every processor instead of a face *)
+}
+
+type bounds = {
+  per_tensor : t list;
+  resident_bytes : float;
+  moved_bytes : float;
+  compute_lb : float;
+  comm_lb : float;
+  time_lb : float;
+  mem_ok : bool;  (** certainly-resident bytes fit in a processor's memory *)
+}
+
+let elem_bytes = 8.0
+
+(* Mirrors the executor's flop accounting (Exec.ops_per_point): arithmetic
+   nodes of the right-hand side, plus the reduction accumulate. *)
+let ops_per_point (stmt : Expr.stmt) =
+  let rec count = function
+    | Expr.Access _ | Expr.Const _ -> 0
+    | Expr.Add (a, b) | Expr.Sub (a, b) | Expr.Mul (a, b) -> 1 + count a + count b
+  in
+  max 1 (count stmt.rhs + if Expr.reduction_vars stmt <> [] then 1 else 0)
+
+(* The tile of [access] under a blocked distribution of [dist_vars] over
+   [grid]: each tensor dimension indexed by a distributed variable shrinks
+   to its ceil-divided block; other dimensions stay whole. *)
+let tile_bytes ~dist_vars ~grid ~shape (access : Expr.access) =
+  let factor_of v =
+    let rec go i = function
+      | [] -> 1
+      | w :: _ when Ident.equal w v -> grid.(i)
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 dist_vars
+  in
+  List.fold_left
+    (fun (acc, d) v ->
+      let extent = float_of_int shape.(d) in
+      let f = float_of_int (factor_of v) in
+      (acc *. ceil (extent /. f), d + 1))
+    (elem_bytes, 0) access.indices
+  |> fst
+
+let of_stmt ~stmt ~shapes ~dist_vars ~grid ~replicate =
+  let accesses = Expr.stmt_accesses stmt in
+  let out = stmt.Expr.lhs.tensor in
+  List.map
+    (fun tn ->
+      let access = List.find (fun (a : Expr.access) -> String.equal a.tensor tn) accesses in
+      let shape = List.assoc tn shapes in
+      let off_face =
+        List.exists (fun v -> not (List.mem v access.indices)) dist_vars
+      in
+      let replicated = replicate && off_face && not (String.equal tn out) in
+      {
+        tensor = tn;
+        tile_bytes = tile_bytes ~dist_vars ~grid ~shape access;
+        (* The output is never replicated; when a distributed axis does
+           not index it, partial tiles must be combined — also a fetch. *)
+        fetched = off_face && not replicated;
+        replicated;
+      })
+    (Expr.tensors stmt)
+
+let bounds ~cost ~mem_per_proc ~stmt ~extents ~shapes ~dist_vars ~grid ~replicate =
+  let per_tensor = of_stmt ~stmt ~shapes ~dist_vars ~grid ~replicate in
+  let out = stmt.Expr.lhs.tensor in
+  let resident_bytes =
+    List.fold_left
+      (fun acc t ->
+        if String.equal t.tensor out || t.replicated then acc +. t.tile_bytes else acc)
+      0.0 per_tensor
+  in
+  let moved_bytes =
+    List.fold_left (fun acc t -> if t.fetched then acc +. t.tile_bytes else acc) 0.0 per_tensor
+  in
+  let procs = Array.fold_left ( * ) 1 grid in
+  let total_points =
+    List.fold_left
+      (fun acc v ->
+        match List.assoc_opt v extents with
+        | Some e -> acc *. float_of_int e
+        | None -> acc)
+      1.0 (Expr.index_vars stmt)
+  in
+  let flops = float_of_int (ops_per_point stmt) *. total_points in
+  let compute_lb = flops /. float_of_int (max 1 procs) /. cost.Cost.compute_rate in
+  let comm_lb = moved_bytes /. Float.max cost.Cost.beta_intra cost.Cost.beta_inter in
+  {
+    per_tensor;
+    resident_bytes;
+    moved_bytes;
+    compute_lb;
+    comm_lb;
+    time_lb = cost.Cost.task_overhead +. Float.max compute_lb comm_lb;
+    mem_ok = resident_bytes <= mem_per_proc;
+  }

@@ -1,0 +1,58 @@
+(** Per-tensor statistics for pruning the auto-scheduler's search,
+    in the style of Galley's physical-plan optimizer: every access of a
+    candidate statement gets cheap size/movement estimates derived from
+    the induced distribution alone, so infeasible or dominated candidates
+    are rejected before any compilation or simulation.
+
+    All derived quantities are {e lower bounds} on what the simulator's
+    cost model will charge the candidate, so pruning against them never
+    discards the true optimum (see DESIGN.md, "Search policy"). *)
+
+type t = {
+  tensor : string;
+  tile_bytes : float;
+      (** bytes of one tile under the induced blocked distribution *)
+  fetched : bool;
+      (** some distributed machine axis does not index the tensor, so a
+          processor off that axis's face must fetch its tile (or, for the
+          output of a distributed reduction, combine partial tiles) *)
+  replicated : bool;
+      (** stored on every processor (the candidate's replicate choice) *)
+}
+
+type bounds = {
+  per_tensor : t list;
+  resident_bytes : float;
+      (** memory the busiest processor certainly holds: its output tile
+          plus every replicated input tile *)
+  moved_bytes : float;  (** bytes some processor certainly receives *)
+  compute_lb : float;  (** evenly-divided flops at full compute rate *)
+  comm_lb : float;  (** [moved_bytes] at the fastest link bandwidth *)
+  time_lb : float;
+      (** task overhead + max(compute_lb, comm_lb) — a lower bound on
+          the modeled time under the model's overlap semantics *)
+  mem_ok : bool;  (** [resident_bytes <= mem_per_proc] *)
+}
+
+val ops_per_point : Distal_ir.Expr.stmt -> int
+(** Arithmetic operations per iteration-space point, mirroring the
+    executor's flop accounting. *)
+
+val of_stmt :
+  stmt:Distal_ir.Expr.stmt ->
+  shapes:(string * int array) list ->
+  dist_vars:Distal_ir.Ident.t list ->
+  grid:int array ->
+  replicate:bool ->
+  t list
+
+val bounds :
+  cost:Distal_machine.Cost_model.t ->
+  mem_per_proc:float ->
+  stmt:Distal_ir.Expr.stmt ->
+  extents:(Distal_ir.Ident.t * int) list ->
+  shapes:(string * int array) list ->
+  dist_vars:Distal_ir.Ident.t list ->
+  grid:int array ->
+  replicate:bool ->
+  bounds

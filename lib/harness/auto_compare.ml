@@ -1,0 +1,132 @@
+(* Auto-scheduler vs the hand schedules of the harness figures.
+
+   One row per workload: the hand-written schedule's modeled time (the
+   best of the Fig. 9 2-D family for GEMM, the §7.2 schedule for the
+   higher-order kernels), the auto-scheduler's chosen candidate on the
+   same statement / shapes / processor budget, and their ratio. The whole
+   point of the search is that ratio never dropping below 1 — the search
+   optimizes the exact objective the hand schedules are judged by, over a
+   space that contains (or models identically to) each of them. *)
+
+module Api = Distal.Api
+module Machine = Distal_machine.Machine
+module Cost = Distal_machine.Cost_model
+module Stats = Distal_runtime.Stats
+module Auto = Distal_algorithms.Auto
+module H = Distal_algorithms.Higher_order
+module Matmul = Distal_algorithms.Matmul
+module Cs = Distal_algorithms.Cosma_scheduler
+
+type row = {
+  workload : string;
+  hand : string;  (** name of the best hand schedule *)
+  hand_time : float;
+  auto : string;  (** Auto.describe of the chosen candidate *)
+  auto_time : float;
+  ratio : float;  (** hand_time / auto_time; >= 1 means auto matches or wins *)
+  report : Auto.report;
+}
+
+let model ~cost plan =
+  match Api.run ~mode:Api.Exec.Model ~cost plan ~data:[] with
+  | Ok r -> Ok r.Api.Exec.stats
+  | Error e -> Error e
+
+let cpu_grid dims = Machine.grid ~kind:Machine.Cpu ~mem_per_proc:256e9 dims
+
+(* The best hand schedule for a workload: candidates are (name, plan)
+   results; infeasible ones are skipped. *)
+let best_hand ~cost plans =
+  List.filter_map
+    (fun (name, p) ->
+      match p with
+      | Error _ -> None
+      | Ok plan -> (
+          match model ~cost plan with
+          | Ok (stats : Stats.t) when not stats.Stats.oom -> Some (name, stats.Stats.time)
+          | _ -> None))
+    plans
+  |> function
+  | [] -> None
+  | xs -> Some (List.fold_left (fun (bn, bt) (n, t) -> if t < bt then (n, t) else (bn, bt))
+                  (List.hd xs) (List.tl xs))
+
+let row ?domains ~cost ~workload ~stmt ~shapes ~procs hand_plans =
+  match best_hand ~cost hand_plans with
+  | None -> Error (workload ^ ": no feasible hand schedule")
+  | Some (hand, hand_time) -> (
+      match
+        Auto.search_report ~cost ?domains ~machine_of:cpu_grid ~procs ~stmt ~shapes ()
+      with
+      | Error e -> Error (workload ^ ": " ^ e)
+      | Ok (cs, report) ->
+          let c = List.hd cs in
+          let auto_time = c.Auto.stats.Stats.time in
+          Ok
+            {
+              workload;
+              hand;
+              hand_time;
+              auto = Auto.describe c;
+              auto_time;
+              ratio = (if auto_time > 0.0 then hand_time /. auto_time else infinity);
+              report;
+            })
+
+(* The standard comparison set: GEMM against the whole 2-D Fig. 9 family
+   on a square grid, and the three 1-D higher-order kernels of §7.2
+   against their paper schedules. [procs] must be a perfect square for
+   the GEMM grid. *)
+let rows ?domains ?(procs = 16) ?(n = 4096) ?(jk = 256) ?(i1 = 1024) () =
+  let cost = Cost.cpu_distal in
+  let gx, gy = Cs.best_pair procs in
+  let gemm =
+    row ?domains ~cost ~workload:(Printf.sprintf "gemm n=%d" n)
+      ~stmt:"A(i,j) = B(i,k) * C(k,j)"
+      ~shapes:[ ("A", [| n; n |]); ("B", [| n; n |]); ("C", [| n; n |]) ]
+      ~procs
+      (List.map
+         (fun (name, mk) -> (name, Result.map (fun (m : Matmul.t) -> m.Matmul.plan)
+                                     (mk ~n ~machine:(cpu_grid [| gx; gy |]))))
+         Matmul.all_2d)
+  in
+  let machine1 = cpu_grid [| procs |] in
+  let h name r = (name, Result.map (fun (h : H.t) -> h.H.plan) r) in
+  let ttv =
+    row ?domains ~cost ~workload:(Printf.sprintf "ttv i=%d jk=%d" i1 jk)
+      ~stmt:"A(i,j) = B(i,j,k) * c(k)"
+      ~shapes:[ ("A", [| i1; jk |]); ("B", [| i1; jk; jk |]); ("c", [| jk |]) ]
+      ~procs
+      [ h "ttv-elementwise" (H.ttv ~i:i1 ~j:jk ~k:jk ~machine:machine1) ]
+  in
+  let innerprod =
+    row ?domains ~cost ~workload:(Printf.sprintf "innerprod i=%d jk=%d" i1 jk)
+      ~stmt:"a = B(i,j,k) * C(i,j,k)"
+      ~shapes:[ ("a", [||]); ("B", [| i1; jk; jk |]); ("C", [| i1; jk; jk |]) ]
+      ~procs
+      [ h "innerprod-reduction" (H.innerprod ~i:i1 ~j:jk ~k:jk ~machine:machine1) ]
+  in
+  let l = 64 in
+  let ttm =
+    row ?domains ~cost ~workload:(Printf.sprintf "ttm i=%d jk=%d l=%d" i1 jk l)
+      ~stmt:"A(i,j,l) = B(i,j,k) * C(k,l)"
+      ~shapes:
+        [ ("A", [| i1; jk; l |]); ("B", [| i1; jk; jk |]); ("C", [| jk; l |]) ]
+      ~procs
+      [ h "ttm-local-gemm" (H.ttm ~i:i1 ~j:jk ~k:jk ~l ~machine:machine1) ]
+  in
+  List.filter_map Result.to_option [ gemm; ttv; innerprod; ttm ]
+
+let print rows =
+  Printf.printf "%-24s %-18s %12s %12s %8s\n" "workload" "best hand schedule"
+    "hand (s)" "auto (s)" "ratio";
+  List.iter
+    (fun r ->
+      Printf.printf "%-24s %-18s %12.4g %12.4g %7.2fx\n" r.workload r.hand r.hand_time
+        r.auto_time r.ratio;
+      Printf.printf "    auto: %s\n    search: %s\n" r.auto
+        (Auto.describe_report r.report))
+    rows
+
+let min_ratio rows =
+  List.fold_left (fun acc r -> Float.min acc r.ratio) infinity rows

@@ -1,0 +1,29 @@
+(** The auto-scheduler judged against the harness's hand schedules.
+
+    Each row pits {!Distal_algorithms.Auto} against the best hand-written
+    schedule for the same statement, shapes and processor budget — the
+    Fig. 9 2-D matrix-multiply family for GEMM, the §7.2 schedules for
+    the higher-order kernels — under the same cost model. A [ratio]
+    of at least 1.0 means the search matched or beat the hand schedule;
+    the bench gate holds the minimum ratio over all rows to that bar. *)
+
+type row = {
+  workload : string;
+  hand : string;  (** name of the best hand schedule *)
+  hand_time : float;  (** its modeled seconds *)
+  auto : string;  (** description of the chosen candidate *)
+  auto_time : float;  (** the candidate's modeled seconds *)
+  ratio : float;  (** [hand_time /. auto_time]; >= 1 means auto matched *)
+  report : Distal_algorithms.Auto.report;
+}
+
+val rows :
+  ?domains:int -> ?procs:int -> ?n:int -> ?jk:int -> ?i1:int -> unit -> row list
+(** The standard comparison set (GEMM, TTV, inner product, TTM) at the
+    given sizes. Workloads whose hand schedule or search fails are
+    skipped. *)
+
+val print : row list -> unit
+
+val min_ratio : row list -> float
+(** Minimum ratio over the rows; [infinity] when empty. *)

@@ -1,0 +1,77 @@
+(* Microbenchmark calibration of Cost_model.pack_overhead.
+
+   The cost model prices a coalesced strided transfer as one message plus
+   a per-fragment packing charge (Cost_model.pack_time). The presets
+   guess that charge; here we measure it on the host the search actually
+   runs on, so Auto trades strided packing against redistribution on
+   measured numbers rather than folklore.
+
+   The measurement mirrors what Comm_plan's packing loop does: gather F
+   fixed-size strips scattered through a large source array into one
+   contiguous wire buffer, versus one contiguous blit of the same byte
+   count. The difference, divided by the F-1 extra fragments, is the
+   per-fragment overhead — strip-loop setup plus the cache-unfriendly
+   source walk. Best-of-N repetitions reject scheduler noise; the result
+   is clamped to a sane window so a preempted CI host can never poison
+   the model with an absurd constant. *)
+
+let clamp lo hi x = Float.max lo (Float.min hi x)
+
+(* One strip of [strip] floats copied [fragments] times, strided vs
+   contiguous; returns measured seconds-per-extra-fragment. *)
+let measure_once ~fragments ~strip =
+  let stride = strip * 7 in
+  let src = Array.make (fragments * stride) 1.0 in
+  let dst = Array.make (fragments * strip) 0.0 in
+  let t0 = Unix.gettimeofday () in
+  for f = 0 to fragments - 1 do
+    Array.blit src (f * stride) dst (f * strip) strip
+  done;
+  let t1 = Unix.gettimeofday () in
+  Array.blit src 0 dst 0 (fragments * strip);
+  let t2 = Unix.gettimeofday () in
+  let strided = t1 -. t0 and contiguous = t2 -. t1 in
+  Float.max 0.0 (strided -. contiguous) /. float_of_int (fragments - 1)
+
+let floor_s = 1e-9
+
+and ceil_s = 1e-5
+
+let measure_pack_overhead () =
+  (* 256 strips of 64 doubles: big enough that the strip loop dominates
+     timer resolution, small enough to stay cache-resident and quick. *)
+  let fragments = 256 and strip = 64 in
+  ignore (measure_once ~fragments ~strip) (* warm up the allocator/cache *);
+  let best = ref infinity in
+  for _ = 1 to 5 do
+    let m = measure_once ~fragments ~strip in
+    if m > 0.0 && m < !best then best := m
+  done;
+  let measured = if Float.is_finite !best then !best else floor_s in
+  clamp floor_s ceil_s measured
+
+(* Calibration is process-wide and deterministic after the first call:
+   every later caller sees the same constant, so repeated searches in one
+   process rank candidates identically. *)
+let cached : float option ref = ref None
+
+let m = Mutex.create ()
+
+let pack_overhead () =
+  Mutex.lock m;
+  let v =
+    match !cached with
+    | Some v -> v
+    | None ->
+        let v =
+          match Distal_support.Env.pack_overhead () with
+          | Some v -> clamp floor_s ceil_s v
+          | None -> measure_pack_overhead ()
+        in
+        cached := Some v;
+        v
+  in
+  Mutex.unlock m;
+  v
+
+let calibrated cost = { cost with Cost_model.pack_overhead = pack_overhead () }

@@ -1,0 +1,26 @@
+(** Host calibration of {!Cost_model} constants.
+
+    The only measured constant today is [pack_overhead] — the
+    per-fragment cost of gathering a strided transfer into one contiguous
+    wire buffer — which the auto-scheduler needs to trade strided packing
+    against redistribution honestly (see DESIGN.md, "Search policy").
+
+    The measurement runs once per process and is cached, so every search
+    in a process prices candidates with the same constant and stays
+    deterministic. [DISTAL_PACK_OVERHEAD] overrides the microbenchmark
+    entirely (useful for reproducible CI and for modelling a different
+    host). Results are clamped to [1e-9 .. 1e-5] seconds per fragment so
+    a noisy host cannot poison the model. *)
+
+val pack_overhead : unit -> float
+(** The calibrated per-fragment packing cost in seconds: the
+    [DISTAL_PACK_OVERHEAD] override if set, else a strided-vs-contiguous
+    copy microbenchmark (best of 5), cached after the first call. *)
+
+val calibrated : Cost_model.t -> Cost_model.t
+(** [calibrated cost] is [cost] with its [pack_overhead] replaced by the
+    measured value. *)
+
+val measure_pack_overhead : unit -> float
+(** Run the microbenchmark unconditionally (no cache, no env override) —
+    exposed for the calibration report in [bench]. *)

@@ -18,6 +18,32 @@ type t = {
   pack_overhead : float;
 }
 
+(* Every field that influences a predicted time, in declaration order, so
+   two models that could rank candidates differently never share a digest.
+   Floats are rendered with %h (hex, exact) — no rounding collisions. *)
+let digest t =
+  let b = Buffer.create 128 in
+  let str s =
+    Buffer.add_string b (string_of_int (String.length s));
+    Buffer.add_char b ':';
+    Buffer.add_string b s
+  in
+  let flt f = str (Printf.sprintf "%h" f) in
+  str t.name;
+  flt t.alpha_intra;
+  flt t.alpha_inter;
+  flt t.beta_intra;
+  flt t.beta_inter;
+  flt t.compute_rate;
+  flt t.mem_bw;
+  flt t.overlap;
+  flt t.task_overhead;
+  str (string_of_int t.rack_nodes);
+  flt t.rack_uplink;
+  str (match t.duplex with Full -> "full" | Half -> "half");
+  flt t.pack_overhead;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 let combine_sr t ~send ~recv =
   match t.duplex with Full -> max send recv | Half -> send +. recv
 

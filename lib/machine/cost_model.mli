@@ -41,6 +41,12 @@ type t = {
           packed into one wire message (see {!strided_copy_time}) *)
 }
 
+val digest : t -> string
+(** Hex digest over every field that influences a predicted time —
+    injective up to hash collisions, so it is safe as a component of
+    memoization keys that must distinguish cost models (e.g. the
+    auto-scheduler's probe cache across calibration changes). *)
+
 val combine_sr : t -> send:float -> recv:float -> float
 (** A processor's communication occupancy in one step given its send and
     receive occupancies, per the model's duplex mode. *)

@@ -75,3 +75,13 @@ let serve_queue () = positive_int_var "DISTAL_SERVE_QUEUE"
 let serve_batch_window () = non_negative_float_var "DISTAL_SERVE_BATCH_WINDOW"
 
 let serve_cache () = non_negative_int_var "DISTAL_SERVE_CACHE"
+
+(* Auto-scheduler knobs (lib/algorithms/auto, lib/machine/calibrate). *)
+
+let auto_cache () = non_negative_int_var "DISTAL_AUTO_CACHE"
+
+let pack_overhead () =
+  match non_negative_float_var "DISTAL_PACK_OVERHEAD" with
+  | Some f when f > 0.0 -> Some f
+  | Some _ -> malformed "DISTAL_PACK_OVERHEAD" "0" "a positive number of seconds"
+  | None -> None

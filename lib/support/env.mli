@@ -45,3 +45,13 @@ val serve_batch_window : unit -> float option
 val serve_cache : unit -> int option
 (** [DISTAL_SERVE_CACHE]: plan-cache capacity in entries ([0] disables
     caching). *)
+
+(** {2 Auto-scheduler knobs} *)
+
+val auto_cache : unit -> int option
+(** [DISTAL_AUTO_CACHE]: probe-memoization LRU capacity for the
+    auto-scheduler ([0] disables memoization). *)
+
+val pack_overhead : unit -> float option
+(** [DISTAL_PACK_OVERHEAD]: per-fragment packing cost in seconds,
+    overriding the strided-copy calibration microbenchmark (positive). *)

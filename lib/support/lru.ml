@@ -71,10 +71,14 @@ let push_front t n =
   t.head <- Some n
 
 let promote t n =
-  if t.head != Some n then begin
-    unlink t n;
-    push_front t n
-  end
+  (* Compare the node itself: [t.head != Some n] would allocate a fresh
+     [Some] block and always be physically unequal, making the fast path
+     dead and every MRU hit pay an unlink/re-push. *)
+  match t.head with
+  | Some h when h == n -> ()
+  | _ ->
+      unlink t n;
+      push_front t n
 
 let evict_lru t =
   match t.tail with

@@ -89,6 +89,80 @@ let test_auto_beats_naive_gemm () =
       Alcotest.(check bool) "describe mentions grid" true
         (Astring_contains.contains (Auto.describe best) "distribute")
 
+let test_auto_report_counters () =
+  (* procs=8 factors as 8, 4x2, 2x4, 2x2x2, ... — several of those
+     factorizations contain 1-sized grid dimensions whose canonical form
+     collides with a smaller-subset candidate, so a non-trivial search
+     must report deduplications, and the bounds must prune something once
+     a feasible best exists. *)
+  match
+    Auto.search_report ~machine_of ~procs:8 ~stmt:"A(i,j) = B(i,k) * C(k,j)"
+      ~shapes:(gemm_shapes 64) ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok (cs, r) ->
+      Alcotest.(check bool) "deduped > 0" true (r.Auto.deduped > 0);
+      Alcotest.(check bool) "pruned > 0" true (r.Auto.pruned > 0);
+      Alcotest.(check bool) "probed covers results" true
+        (r.Auto.probed >= List.length cs);
+      Alcotest.(check int) "accounting adds up" r.Auto.enumerated
+        (r.Auto.deduped + r.Auto.pruned + r.Auto.probed);
+      Alcotest.(check int) "nothing failed" 0 r.Auto.infeasible;
+      Alcotest.(check bool) "no failure diagnostic" true (r.Auto.last_error = None);
+      Alcotest.(check bool) "wall clock measured" true (r.Auto.wall_s >= 0.0)
+
+let test_auto_failure_diagnostics () =
+  (* A machine factory whose machines disagree with the requested grid
+     rank fails every probe at compile time. The failure message must
+     carry the search diagnostics — counts and the last probe error —
+     instead of a bare "no feasible candidate" (the pre-fix behavior
+     swallowed both). *)
+  match
+    Auto.search
+      ~machine_of:(fun g -> Machine.grid (Array.append g [| 1 |]))
+      ~procs:4 ~stmt:"A(i,j) = B(i,k) * C(k,j)" ~shapes:(gemm_shapes 8) ()
+  with
+  | Ok _ -> Alcotest.fail "rank-mismatched machines must fail every probe"
+  | Error e ->
+      let mentions what =
+        Alcotest.(check bool)
+          (Printf.sprintf "mentions %S (got %S)" what e)
+          true
+          (Astring_contains.contains e what)
+      in
+      mentions "enumerated";
+      mentions "probed";
+      mentions "infeasible";
+      mentions "last error";
+      mentions "machine"
+
+let qcheck_auto_pool_identity =
+  (* The determinism contract: the chosen candidate — and the whole
+     ranking — must be byte-identical whatever the probe pool size,
+     memo cache hot or cold. Randomize over the processor budget and
+     problem size; compare domains=1 against domains=3. *)
+  QCheck.Test.make ~name:"auto search identical at every pool size" ~count:8
+    QCheck.(pair (int_range 0 3) (int_range 0 2))
+    (fun (pi, ni) ->
+      let procs = [| 2; 4; 6; 8 |].(pi) and n = [| 12; 16; 24 |].(ni) in
+      let run domains =
+        match
+          Auto.search_report ~domains ~machine_of ~procs
+            ~stmt:"A(i,j) = B(i,k) * C(k,j)" ~shapes:(gemm_shapes n) ()
+        with
+        | Error e -> QCheck.Test.fail_reportf "procs=%d n=%d: %s" procs n e
+        | Ok (cs, r) ->
+            ( List.map
+                (fun c ->
+                  (Auto.describe c, c.Auto.dist_vars, Array.to_list c.Auto.grid))
+                cs,
+              (r.Auto.enumerated, r.Auto.deduped, r.Auto.pruned, r.Auto.probed) )
+      in
+      let serial = run 1 and parallel = run 3 in
+      if serial <> parallel then
+        QCheck.Test.fail_reportf "procs=%d n=%d: pool size changed the search" procs n;
+      true)
+
 let suites =
   [
     ( "auto scheduler",
@@ -98,5 +172,8 @@ let suites =
         Alcotest.test_case "ttv zero comm" `Quick test_auto_ttv_no_communication;
         Alcotest.test_case "ttm keeps B local" `Quick test_auto_ttm_distributes_i;
         Alcotest.test_case "beats serial" `Quick test_auto_beats_naive_gemm;
+        Alcotest.test_case "report counters" `Quick test_auto_report_counters;
+        Alcotest.test_case "failure diagnostics" `Quick test_auto_failure_diagnostics;
+        QCheck_alcotest.to_alcotest qcheck_auto_pool_identity;
       ] );
   ]

@@ -72,6 +72,125 @@ let test_lru_find_or_add () =
   | _ -> Alcotest.fail "compute errors propagate");
   Alcotest.(check bool) "error cached nothing" false (Lru.mem t "c")
 
+(* Regression for the dead MRU fast path in [Lru.promote]: the guard
+   compared [t.head] against a freshly allocated [Some n] with [!=],
+   which is never physically equal, so every hit on the already-MRU
+   entry paid a full unlink/re-push. The fix compares the node itself.
+   The observable contract either way: hits on the head entry count and
+   leave the recency order untouched, hits elsewhere reorder. *)
+let test_lru_promote_mru () =
+  let t = Lru.create ~capacity:3 in
+  ignore (Lru.put t "a" 1);
+  ignore (Lru.put t "b" 2);
+  ignore (Lru.put t "c" 3);
+  (* Repeated hits on the MRU entry: order stable, every hit counted. *)
+  for i = 1 to 5 do
+    Alcotest.(check (option int)) "mru hit" (Some 3) (Lru.find t "c");
+    Alcotest.(check int) "hit counted" i (Lru.hits t);
+    Alcotest.(check (list string)) "order stable" [ "c"; "b"; "a" ] (Lru.keys_mru t)
+  done;
+  (* A hit below the head still promotes... *)
+  Alcotest.(check (option int)) "tail hit" (Some 1) (Lru.find t "a");
+  Alcotest.(check (list string)) "tail promoted" [ "a"; "c"; "b" ] (Lru.keys_mru t);
+  (* ...and the eviction order reflects the promotions, not insertion. *)
+  Alcotest.(check (option (pair string int)))
+    "lru evicted" (Some ("b", 2)) (Lru.put t "d" 4);
+  (* Single-entry cache: the only entry is permanently MRU; hammering it
+     must neither corrupt the list nor lose counter updates. *)
+  let s = Lru.create ~capacity:1 in
+  ignore (Lru.put s "x" 0);
+  for _ = 1 to 100 do ignore (Lru.find s "x") done;
+  Alcotest.(check int) "single-entry hits" 100 (Lru.hits s);
+  Alcotest.(check (list string)) "single-entry order" [ "x" ] (Lru.keys_mru s)
+
+(* {2 QCheck: the LRU against an association-list model}
+
+   The reference is the obvious executable specification: an MRU-first
+   association list capped at [capacity], where a find-hit or put moves
+   the binding to the front and an overflowing put drops the last
+   element. After every operation the cache must agree with the model on
+   the returned value, the full recency order and all three counters. *)
+
+type lru_op = Find of int | Put of int * int | Remove of int
+
+let lru_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun k -> Find k) (int_range 0 7));
+        (4, map2 (fun k v -> Put (k, v)) (int_range 0 7) (int_range 0 1000));
+        (1, map (fun k -> Remove k) (int_range 0 7));
+      ])
+
+let lru_op_print = function
+  | Find k -> Printf.sprintf "find %d" k
+  | Put (k, v) -> Printf.sprintf "put %d %d" k v
+  | Remove k -> Printf.sprintf "remove %d" k
+
+let lru_model_once ~capacity ops =
+  let t = Lru.create ~capacity in
+  let model = ref [] (* MRU first, length <= capacity *) in
+  let hits = ref 0 and misses = ref 0 and evictions = ref 0 in
+  List.iteri
+    (fun step op ->
+      let fail fmt =
+        QCheck.Test.fail_reportf
+          ("step %d (%s): " ^^ fmt) step (lru_op_print op)
+      in
+      (match op with
+      | Find k -> (
+          let got = Lru.find t k in
+          match List.assoc_opt k !model with
+          | Some v ->
+              incr hits;
+              model := (k, v) :: List.remove_assoc k !model;
+              if got <> Some v then fail "expected hit %d" v
+          | None ->
+              incr misses;
+              if got <> None then fail "expected miss")
+      | Put (k, v) -> (
+          let got = Lru.put t k v in
+          let without = List.remove_assoc k !model in
+          let expect_evicted =
+            if capacity = 0 then None
+            else if List.mem_assoc k !model || List.length without < capacity then begin
+              model := (k, v) :: without;
+              None
+            end
+            else begin
+              let rec split_last = function
+                | [ x ] -> ([], x)
+                | x :: rest ->
+                    let kept, last = split_last rest in
+                    (x :: kept, last)
+                | [] -> assert false
+              in
+              let kept, last = split_last without in
+              incr evictions;
+              model := (k, v) :: kept;
+              Some last
+            end
+          in
+          if got <> expect_evicted then fail "eviction mismatch")
+      | Remove k ->
+          let got = Lru.remove t k in
+          let expect = List.mem_assoc k !model in
+          model := List.remove_assoc k !model;
+          if got <> expect then fail "remove returned %b" got);
+      if Lru.keys_mru t <> List.map fst !model then fail "recency order diverged";
+      if Lru.length t <> List.length !model then fail "length diverged";
+      if (Lru.hits t, Lru.misses t, Lru.evictions t) <> (!hits, !misses, !evictions)
+      then fail "counters diverged")
+    ops;
+  true
+
+let qcheck_lru_model =
+  QCheck.Test.make ~name:"lru agrees with association-list model" ~count:300
+    QCheck.(
+      pair (int_range 0 4)
+        (list_of_size Gen.(int_range 1 40) (make ~print:lru_op_print lru_op_gen)))
+    (fun (capacity, ops) -> lru_model_once ~capacity ops)
+
 (* {2 Requests and fingerprints} *)
 
 let gemm_schedule chunks =
@@ -774,6 +893,9 @@ let suites =
         Alcotest.test_case "lru eviction order" `Quick test_lru_eviction_order;
         Alcotest.test_case "lru capacity zero" `Quick test_lru_capacity_zero;
         Alcotest.test_case "lru find_or_add" `Quick test_lru_find_or_add;
+        Alcotest.test_case "lru promote keeps MRU hits cheap and ordered" `Quick
+          test_lru_promote_mru;
+        QCheck_alcotest.to_alcotest qcheck_lru_model;
         Alcotest.test_case "request fingerprint" `Quick test_fingerprint;
         Alcotest.test_case "session byte identity" `Quick test_session_identity;
         Alcotest.test_case "session defensive copies" `Quick test_session_defensive_copies;
