@@ -275,10 +275,12 @@ let planner_speedup plan ~reps =
 
 (* Wall clock of a Full (real arithmetic) run on one domain, best of
    [reps] — the staged-vs-generic leaf comparison below pins the domain
-   count so it measures the evaluator, not the pool. *)
-let full_wall ?staged plan ~data ~reps =
+   count so it measures the evaluator, not the pool. [kernels] selects
+   the leaf kernel registry mode (pinned explicitly so the rows don't
+   depend on DISTAL_KERNELS). *)
+let full_wall ?staged ?kernels plan ~data ~reps =
   let warm () =
-    match Api.run ~mode:Api.Exec.Full ?staged ~domains:1 plan ~data with
+    match Api.run ~mode:Api.Exec.Full ?staged ?kernels ~domains:1 plan ~data with
     | Ok _ -> ()
     | Error e -> failwith ("simperf leaf run failed: " ^ e)
   in
@@ -410,9 +412,24 @@ let simperf_run ~small () =
   let leaf_plan = if small then simperf_leaf ~n:48 ~grid:2 else simperf_leaf ~n:128 ~grid:2 in
   let leaf_data = Api.random_inputs leaf_plan in
   let leaf_reps = if small then 3 else 5 in
-  let leaf_wall = full_wall ~staged:true leaf_plan ~data:leaf_data ~reps:leaf_reps in
-  let leaf_generic = full_wall ~staged:false leaf_plan ~data:leaf_data ~reps:leaf_reps in
+  let off = Api.Kernel_registry.Off in
+  let leaf_wall =
+    full_wall ~staged:true ~kernels:off leaf_plan ~data:leaf_data ~reps:leaf_reps
+  in
+  let leaf_generic =
+    full_wall ~staged:false ~kernels:off leaf_plan ~data:leaf_data ~reps:leaf_reps
+  in
   let leaf_speedup = if leaf_wall > 0.0 then leaf_generic /. leaf_wall else 0.0 in
+  (* The registry microkernels against the staged scalar nest, same plan
+     (the staged leaf matches the gemm pattern and dispatches under
+     [Tiled]); [leaf.gflops] reports the calibrated gemm rate the cost
+     model prices substituted leaves with. *)
+  let leaf_native =
+    full_wall ~staged:true ~kernels:Api.Kernel_registry.Tiled leaf_plan
+      ~data:leaf_data ~reps:leaf_reps
+  in
+  let leaf_native_speedup = if leaf_native > 0.0 then leaf_wall /. leaf_native else 0.0 in
+  let leaf_gflops = Distal_machine.Calibrate.kernel_rate "gemm" /. 1e9 in
   Distal_support.Table.add_row table
     [
       "leaf (staged vs generic)";
@@ -421,12 +438,25 @@ let simperf_run ~small () =
       Printf.sprintf "%.1fx" leaf_speedup;
       "-"; "-"; "-"; "-"; "-";
     ];
+  Distal_support.Table.add_row table
+    [
+      "leaf (tiled vs staged)";
+      Printf.sprintf "%.3f ms" (leaf_native *. 1e3);
+      Printf.sprintf "%.3f ms" (leaf_wall *. 1e3);
+      Printf.sprintf "%.1fx" leaf_native_speedup;
+      "-"; "-"; "-";
+      Printf.sprintf "%.2f GF/s" leaf_gflops;
+      "-";
+    ];
   metrics :=
     !metrics
     @ [
         ("leaf.wall_s", leaf_wall, "s");
         ("leaf.unstaged_wall_s", leaf_generic, "s");
         ("leaf.stage_speedup", leaf_speedup, "x");
+        ("leaf.native_wall_s", leaf_native, "s");
+        ("leaf.native_speedup", leaf_native_speedup, "x");
+        ("leaf.gflops", leaf_gflops, "GF/s");
       ];
   (* Resilience (lib/fault), on simulated time so the row is
      config-independent: an empty fault plan with checkpointing off must

@@ -21,7 +21,9 @@
    the host), [*.hot_cache_speedup], which must reach at least 5.0
    (a hot serving-cache request that is not clearly cheaper than a cold
    compile-and-run means the serving layer has stopped paying for
-   itself), and the auto-scheduler invariants: [*.candidates_pruned]
+   itself), [*.native_speedup], which must be at least 1.0 (the tiled
+   leaf microkernels may never lose to the staged scalar nest they
+   replace), and the auto-scheduler invariants: [*.candidates_pruned]
    must be positive (the dedup/bound machinery must reject something on
    any non-trivial search), [*.pool_identical] must be exactly 1 (the
    chosen ranking may not depend on the domain-pool size) and
@@ -154,6 +156,11 @@ let check_speedups () =
         fail
           "%s is %.3fx: the auto-scheduler lost to a hand schedule it should match or \
            beat"
+          name v;
+      if String.ends_with ~suffix:".native_speedup" name && v < 1.0 then
+        fail
+          "%s is %.3fx: the tiled leaf kernels lost to the staged scalar nest they \
+           replace"
           name v)
     !seen_metrics
 

@@ -167,9 +167,9 @@ let run_connect ~socket ~serve_stats ~serve_shutdown ~machine_dims ~gpu ~tensors
         (match r.Serve.Protocol.output with
         | None -> ()
         | Some out ->
-            let a = Distal_tensor.Dense.unsafe_data out in
-            let sum = Array.fold_left ( +. ) 0.0 a in
-            Printf.printf "output: %d elements, sum %.17g\n" (Array.length a) sum);
+            let module Dense = Distal_tensor.Dense in
+            let sum = Dense.fold ( +. ) 0.0 out in
+            Printf.printf "output: %d elements, sum %.17g\n" (Dense.size out) sum);
         Ok ()
 
 let run_pipeline ~machine_dims ~gpu ~tensors ~stmt ~schedule ~validate ~estimate ~quiet

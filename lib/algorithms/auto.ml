@@ -291,7 +291,9 @@ let enumerate ~max_dist_vars ~cost ~machine_of ~procs ~stmt ~shapes ~parsed ~ext
 
 (* Compile the spec's schedule and model-run it; substitute the matched
    leaf kernel when the statement has one (falling back silently — the
-   modeled cost is identical either way, only executed plans differ). *)
+   executor prices leaf compute by the statement's matched kernel whether
+   or not the tree substitutes it, so the modeled cost is identical either
+   way; only executed plans differ). *)
 let compile_spec ~stmt ~parsed spec =
   let* problem =
     Api.problem ~machine:spec.s_machine ~stmt ~tensors:spec.s_tensors ()
@@ -348,12 +350,19 @@ type state = {
 (* A spec provably unable to beat the current best non-OOM candidate:
    either its certain residency overflows processor memory (it would be
    ranked behind every non-OOM candidate), or its modeled-time lower
-   bound is strictly worse than the best time. Without a non-OOM best
-   nothing is pruned — the bounds alone never reject a candidate. *)
+   bound already meets the best time — such a candidate can at most tie
+   the best, and ties rank behind it (earlier enumeration index wins), so
+   probing it cannot change the winner. The tie case matters on
+   compute-bound problems: with leaf-rate pricing and full
+   compute/communication overlap the bound is exact for every candidate
+   whose communication hides under the leaf compute, so entire families
+   of equivalent grids collapse onto the best and are dropped without
+   compilation. Without a non-OOM best nothing is pruned — the bounds
+   alone never reject a candidate. *)
 let prunable st spec =
   match st.best with
   | None -> false
-  | Some bt -> (not spec.s_bounds.Tensor_stats.mem_ok) || spec.s_bounds.Tensor_stats.time_lb > bt
+  | Some bt -> (not spec.s_bounds.Tensor_stats.mem_ok) || spec.s_bounds.Tensor_stats.time_lb >= bt
 
 let run_search ?(max_dist_vars = 3) ?cost ?domains ~machine_of ~procs ~stmt ~shapes () =
   let t0 = Pool.now () in

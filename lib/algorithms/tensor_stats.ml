@@ -117,7 +117,16 @@ let bounds ~cost ~mem_per_proc ~stmt ~extents ~shapes ~dist_vars ~grid ~replicat
       1.0 (Expr.index_vars stmt)
   in
   let flops = float_of_int (ops_per_point stmt) *. total_points in
-  let compute_lb = flops /. float_of_int (max 1 procs) /. cost.Cost.compute_rate in
+  (* Match the executor's leaf pricing: a statement that structurally
+     matches a registry kernel is charged at that kernel's calibrated
+     rate whether or not the schedule substitutes it, so the bound stays
+     a true lower bound on every candidate's modeled time. *)
+  let rate =
+    match Distal_ir.Kernel_match.infer stmt with
+    | Some kernel -> Cost.leaf_rate cost ~kernel
+    | None -> cost.Cost.compute_rate
+  in
+  let compute_lb = flops /. float_of_int (max 1 procs) /. rate in
   let comm_lb = moved_bytes /. Float.max cost.Cost.beta_intra cost.Cost.beta_inter in
   {
     per_tensor;

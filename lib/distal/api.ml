@@ -1,6 +1,7 @@
 module Machine = Distal_machine.Machine
 module Cost_model = Distal_machine.Cost_model
 module Dense = Distal_tensor.Dense
+module Kernel_registry = Distal_tensor.Kernel_registry
 module Rect = Distal_tensor.Rect
 module Expr = Distal_ir.Expr
 module Distnot = Distal_ir.Distnot
@@ -111,16 +112,16 @@ let spec ?cost plan =
     virtual_grid = plan.problem.virtual_grid;
   }
 
-let run ?mode ?coalesce ?domains ?staged ?cost ?trace ?profile ?faults plan
-    ~data =
-  Exec.execute ?mode ?coalesce ?domains ?staged ?trace ?profile ?faults
-    (spec ?cost plan) ~data
+let run ?mode ?coalesce ?domains ?staged ?kernels ?cost ?trace ?profile ?faults
+    plan ~data =
+  Exec.execute ?mode ?coalesce ?domains ?staged ?kernels ?trace ?profile
+    ?faults (spec ?cost plan) ~data
 
-let run_exn ?mode ?coalesce ?domains ?staged ?cost ?trace ?profile ?faults plan
-    ~data =
+let run_exn ?mode ?coalesce ?domains ?staged ?kernels ?cost ?trace ?profile
+    ?faults plan ~data =
   or_invalid
-    (run ?mode ?coalesce ?domains ?staged ?cost ?trace ?profile ?faults plan
-       ~data)
+    (run ?mode ?coalesce ?domains ?staged ?kernels ?cost ?trace ?profile
+       ?faults plan ~data)
 
 let estimate ?cost ?profile plan =
   match Exec.execute ~mode:Exec.Model ?profile (spec ?cost plan) ~data:[] with

@@ -23,6 +23,7 @@
 module Machine = Distal_machine.Machine
 module Cost_model = Distal_machine.Cost_model
 module Dense = Distal_tensor.Dense
+module Kernel_registry = Distal_tensor.Kernel_registry
 module Rect = Distal_tensor.Rect
 module Expr = Distal_ir.Expr
 module Distnot = Distal_ir.Distnot
@@ -95,6 +96,7 @@ val run :
   ?coalesce:bool ->
   ?domains:int ->
   ?staged:bool ->
+  ?kernels:Kernel_registry.mode ->
   ?cost:Cost_model.t ->
   ?trace:Exec.trace_event list ref ->
   ?profile:Obs.Profile.t ->
@@ -105,13 +107,15 @@ val run :
 (** With [profile], the execution registers as a run of the profile and
     emits spans, copy events, metrics and a step timeline; [coalesce]
     (default [true]) controls the communication-planning pass; [domains]
-    the host domain-pool size and [staged] the compiled-leaf fast path —
-    neither affects results, traces, stats or event streams; [faults]
+    the host domain-pool size, [staged] the compiled-leaf fast path and
+    [kernels] the leaf kernel registry mode (default [DISTAL_KERNELS],
+    else tiled) — none affects traces, stats or event streams; [faults]
     injects a deterministic fault plan whose kills are recovered by
     checkpoint/replay, bit-identically (see {!Exec.execute}). *)
 
 val run_exn :
   ?mode:Exec.mode -> ?coalesce:bool -> ?domains:int -> ?staged:bool ->
+  ?kernels:Kernel_registry.mode ->
   ?cost:Cost_model.t -> ?trace:Exec.trace_event list ref ->
   ?profile:Obs.Profile.t -> ?faults:Fault.t -> plan ->
   data:(string * Dense.t) list -> Exec.result

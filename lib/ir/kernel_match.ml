@@ -1,19 +1,17 @@
 let errf fmt = Printf.ksprintf (fun s -> Error s) fmt
 
-(* A pattern is the lhs arity and a right-hand spine of accesses whose
-   indices are letters; matching unifies letters with the statement's index
-   variables bijectively. *)
+(* The patterns are the registry's kernel table: the lhs arity and a
+   right-hand spine of accesses whose indices are letters; matching
+   unifies letters with the statement's index variables bijectively.
+   Keeping [Kernel_registry.entries] the single source of truth means a
+   kernel added to the registry is automatically substitutable. *)
 type pattern = { lhs : string; factors : string list }
 
 let patterns =
-  [
-    ("gemm", { lhs = "ij"; factors = [ "ik"; "kj" ] });
-    ("gemv", { lhs = "i"; factors = [ "ik"; "k" ] });
-    ("ttv", { lhs = "ij"; factors = [ "ijk"; "k" ] });
-    ("ttm", { lhs = "ijl"; factors = [ "ijk"; "kl" ] });
-    ("mttkrp", { lhs = "il"; factors = [ "ijk"; "jl"; "kl" ] });
-    ("innerprod", { lhs = ""; factors = [ "ijk"; "ijk" ] });
-  ]
+  List.map
+    (fun (e : Distal_tensor.Kernel_registry.entry) ->
+      (e.name, { lhs = e.lhs; factors = e.factors }))
+    Distal_tensor.Kernel_registry.entries
 
 let rec mul_spine = function
   | Expr.Mul (a, b) -> Option.bind (mul_spine a) (fun xs ->
@@ -21,7 +19,15 @@ let rec mul_spine = function
   | Expr.Access a -> Some [ a ]
   | _ -> None
 
-let letters s = List.init (String.length s) (fun i -> String.make 1 s.[i])
+(* Whether the rhs is a left-associated product of accesses,
+   [Mul (Mul (x1, x2), x3)]: the association the evaluator's float
+   operations follow, which leaf-kernel dispatch must reproduce. *)
+let rec left_assoc_spine = function
+  | Expr.Access _ -> true
+  | Expr.Mul (a, Expr.Access _) -> left_assoc_spine a
+  | _ -> false
+
+let letters s = List.init (String.length s) (fun i -> s.[i])
 
 let match_access subst (a : Expr.access) letter_str =
   let ls = letters letter_str in
@@ -37,7 +43,7 @@ let match_access subst (a : Expr.access) letter_str =
                 else Some ((l, v) :: subst)))
       (Some subst) ls a.indices
 
-let try_match stmt pat =
+let try_match_subst stmt pat =
   match mul_spine stmt.Expr.rhs with
   | None -> None
   | Some factors ->
@@ -50,7 +56,12 @@ let try_match stmt pat =
             (fun subst a s -> Option.bind subst (fun subst -> match_access subst a s))
             (Some []) accesses strs
         in
-        Option.map (fun _ -> List.map (fun (a : Expr.access) -> a.tensor) accesses) subst
+        Option.map (fun subst -> (accesses, subst)) subst
+
+let try_match stmt pat =
+  Option.map
+    (fun (accesses, _) -> List.map (fun (a : Expr.access) -> a.tensor) accesses)
+    (try_match_subst stmt pat)
 
 let check stmt ~kernel =
   match List.assoc_opt kernel patterns with
@@ -65,4 +76,19 @@ let check stmt ~kernel =
 let infer stmt =
   List.find_map
     (fun (name, pat) -> Option.map (fun _ -> name) (try_match stmt pat))
+    patterns
+
+type binding = {
+  kernel : string;
+  subst : (char * Ident.t) list;
+  left_assoc : bool;
+}
+
+let infer_binding stmt =
+  List.find_map
+    (fun (name, pat) ->
+      Option.map
+        (fun (_, subst) ->
+          { kernel = name; subst; left_assoc = left_assoc_spine stmt.Expr.rhs })
+        (try_match_subst stmt pat))
     patterns

@@ -11,3 +11,16 @@ val check : Expr.stmt -> kernel:string -> (string list, string) result
 val infer : Expr.stmt -> string option
 (** The leaf kernel this statement matches, if any — used to substitute
     automatically when the user did not. *)
+
+type binding = {
+  kernel : string;  (** the matched {!Distal_tensor.Kernel_registry} entry *)
+  subst : (char * Ident.t) list;
+      (** pattern letter to statement index variable, bijective *)
+  left_assoc : bool;
+      (** the rhs product is left-associated, so the registry's operation
+          order matches the evaluator's *)
+}
+
+val infer_binding : Expr.stmt -> binding option
+(** Like {!infer}, but also exposes the letter unification — what the
+    staged-plan layer needs to dispatch a scalar leaf to the registry. *)

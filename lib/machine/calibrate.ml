@@ -74,4 +74,94 @@ let pack_overhead () =
   Mutex.unlock m;
   v
 
-let calibrated cost = { cost with Cost_model.pack_overhead = pack_overhead () }
+(* {2 Leaf kernel rates}
+
+   The cost model prices substituted leaves at the rate the registry's
+   tiled kernels actually achieve on this host (Cost_model.leaf_rate),
+   not the machine's abstract peak. One mid-sized problem per kernel —
+   big enough that the timer resolution vanishes, small enough to stay
+   quick and mostly cache-resident — timed best-of-3 after a warmup run.
+   Rates are clamped to a sane window so a preempted CI host cannot
+   poison the model, and cached process-wide like pack_overhead so every
+   search prices candidates identically. *)
+
+module Kreg = Distal_tensor.Kernel_registry
+module Dense = Distal_tensor.Dense
+
+let rate_floor = 1e7
+
+and rate_ceil = 1e13
+
+(* Operand shapes (output first) and canonical iteration extents of the
+   calibration problem for each kernel. *)
+let kernel_problem = function
+  | "gemm" ->
+      ([ [| 128; 128 |]; [| 128; 128 |]; [| 128; 128 |] ], [| 128; 128; 128 |])
+  | "gemv" -> ([ [| 768 |]; [| 768; 768 |]; [| 768 |] ], [| 768; 768 |])
+  | "ttv" -> ([ [| 64; 64 |]; [| 64; 64; 256 |]; [| 256 |] ], [| 64; 64; 256 |])
+  | "ttm" ->
+      ([ [| 32; 48; 48 |]; [| 32; 48; 48 |]; [| 48; 48 |] ], [| 32; 48; 48; 48 |])
+  | "mttkrp" ->
+      ( [ [| 48; 32 |]; [| 48; 48; 48 |]; [| 48; 32 |]; [| 48; 32 |] ],
+        [| 48; 32; 48; 48 |] )
+  | "innerprod" ->
+      ([ [||]; [| 64; 64; 64 |]; [| 64; 64; 64 |] ], [| 64; 64; 64 |])
+  | k -> invalid_arg ("Calibrate.kernel_problem: unknown kernel " ^ k)
+
+let measure_kernel_rate kernel =
+  let shapes, dims = kernel_problem kernel in
+  let flops = Kreg.flops ~kernel ~dims in
+  let ops =
+    List.mapi
+      (fun i shape ->
+        let t = Dense.create shape in
+        if i > 0 then
+          for p = 0 to Dense.size t - 1 do
+            Dense.set_lin t p (1.0 +. (0.001 *. float_of_int (p land 7)))
+          done;
+        t)
+      shapes
+  in
+  let time_once () =
+    let t0 = Unix.gettimeofday () in
+    Kreg.run_named Kreg.Tiled ~kernel ops;
+    Unix.gettimeofday () -. t0
+  in
+  ignore (time_once ());
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t = time_once () in
+    if t > 0.0 && t < !best then best := t
+  done;
+  let rate =
+    if Float.is_finite !best && !best > 0.0 then flops /. !best else rate_floor
+  in
+  clamp rate_floor rate_ceil rate
+
+let rates : (string, float) Hashtbl.t = Hashtbl.create 8
+
+let kernel_rate name =
+  Mutex.lock m;
+  let v =
+    match Hashtbl.find_opt rates name with
+    | Some v -> v
+    | None ->
+        let v =
+          match Distal_support.Env.kernel_rate () with
+          | Some r -> clamp rate_floor rate_ceil r
+          | None -> measure_kernel_rate name
+        in
+        Hashtbl.replace rates name v;
+        v
+  in
+  Mutex.unlock m;
+  v
+
+let kernel_rates () = List.map (fun n -> (n, kernel_rate n)) Kreg.kernel_names
+
+let calibrated cost =
+  {
+    cost with
+    Cost_model.pack_overhead = pack_overhead ();
+    kernel_rates = kernel_rates ();
+  }

@@ -16,6 +16,7 @@ type t = {
   rack_uplink : float;
   duplex : duplex;
   pack_overhead : float;
+  kernel_rates : (string * float) list;
 }
 
 (* Every field that influences a predicted time, in declaration order, so
@@ -42,6 +43,11 @@ let digest t =
   flt t.rack_uplink;
   str (match t.duplex with Full -> "full" | Half -> "half");
   flt t.pack_overhead;
+  List.iter
+    (fun (k, r) ->
+      str k;
+      flt r)
+    t.kernel_rates;
   Digest.to_hex (Digest.string (Buffer.contents b))
 
 let combine_sr t ~send ~recv =
@@ -119,6 +125,19 @@ let retransmit_time t link ~bytes ~fragments =
 let compute_time t ~flops ~bytes_touched =
   max (flops /. t.compute_rate) (bytes_touched /. t.mem_bw)
 
+(* A substituted leaf runs a registry microkernel, not the abstract
+   processor's peak-rate loop: when calibration has measured that
+   kernel's achieved flop rate, price the leaf with it. The memory-bound
+   arm keeps the machine's bandwidth — the measured rate already folds
+   the kernel's own cache behaviour into its compute arm. *)
+let leaf_rate t ~kernel =
+  match List.assoc_opt kernel t.kernel_rates with
+  | Some r -> r
+  | None -> t.compute_rate
+
+let leaf_compute_time t ~kernel ~flops ~bytes_touched =
+  max (flops /. leaf_rate t ~kernel) (bytes_touched /. t.mem_bw)
+
 let step_time t ~compute ~comm =
   compute +. max 0.0 (comm -. (t.overlap *. min compute comm))
 
@@ -147,6 +166,7 @@ let cpu_base =
     duplex = Full;
     (* memcpy of a cache-line-sized strip plus loop overhead. *)
     pack_overhead = 100e-9;
+    kernel_rates = [];
   }
 
 let cpu_distal = { cpu_base with name = "cpu-distal" }
@@ -206,6 +226,7 @@ let gpu_distal =
     (* Strided gathers out of framebuffer memory go through the DMA
        engines; per-strip setup is costlier than a CPU memcpy loop. *)
     pack_overhead = 200e-9;
+    kernel_rates = [];
   }
 
 let gpu_cosma =

@@ -39,6 +39,10 @@ type t = {
   pack_overhead : float;
       (** seconds per extra fragment when a coalesced strided transfer is
           packed into one wire message (see {!strided_copy_time}) *)
+  kernel_rates : (string * float) list;
+      (** measured achieved flop/s per leaf kernel name (see
+          {!leaf_rate}); empty in every preset — filled in by
+          [Calibrate.calibrated] *)
 }
 
 val digest : t -> string
@@ -86,6 +90,14 @@ val reduce_time : t -> link -> bytes:float -> contributors:int -> float
 
 val compute_time : t -> flops:float -> bytes_touched:float -> float
 (** max(flops / compute_rate, bytes_touched / mem_bw). *)
+
+val leaf_rate : t -> kernel:string -> float
+(** The flop rate a substituted leaf running [kernel] achieves: the
+    measured entry of [kernel_rates] when present, else [compute_rate]. *)
+
+val leaf_compute_time : t -> kernel:string -> flops:float -> bytes_touched:float -> float
+(** {!compute_time} with the compute arm priced at {!leaf_rate} — how the
+    executor charges substituted leaves. *)
 
 (** {2 Fault tolerance}
 

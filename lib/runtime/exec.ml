@@ -5,6 +5,7 @@ module Dense = Distal_tensor.Dense
 module Rect = Distal_tensor.Rect
 module Rect_index = Distal_tensor.Rect_index
 module Kernels = Distal_tensor.Kernels
+module Kreg = Distal_tensor.Kernel_registry
 module Machine = Distal_machine.Machine
 module Cost = Distal_machine.Cost_model
 module Expr = Distal_ir.Expr
@@ -288,8 +289,8 @@ let ops_per_point (stmt : Expr.stmt) =
   let c = count stmt.rhs + if Expr.reduction_vars stmt <> [] then 1 else 0 in
   max 1 c
 
-let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?trace ?profile
-    ?faults spec ~data =
+let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?kernels ?trace
+    ?profile ?faults spec ~data =
   (* Register this execution as a run of the profile (its own pid, metrics
      registry and timeline slot). Without a profile the registry is private
      to this call; either way it is the single accumulator the final
@@ -387,6 +388,17 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?trace ?profile
     | Some _ when reads_out ->
         errf "substituted kernels cannot read their output tensor %s" out_name
     | _ -> Ok ()
+  in
+  (* The kernel leaf compute is priced as: the substituted kernel when the
+     tree names one, else the kernel the statement structurally matches.
+     The latter covers unsubstituted leaves, which the registry also runs
+     at native speed through staged dispatch — and, crucially, it depends
+     only on the spec (never on the staged/kernels/domains switches), so
+     modeled time keeps the determinism contract. *)
+  let priced_kernel =
+    match named_order with
+    | Some (k, _) -> Some k
+    | None -> Kernel_match.infer stmt
   in
   let lvars, ldims = Taskir.launch prog in
   let rec seq_loops = function
@@ -709,6 +721,13 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?trace ?profile
     | Some b -> b
     | None -> Env.bool_var ~default:true "DISTAL_STAGE"
   in
+  (* Leaf kernel registry mode: explicit argument wins, then the
+     DISTAL_KERNELS environment switch (default tiled). Only Full-mode
+     leaf execution consults it — modeled time depends on (spec, cost)
+     alone, never on which implementation computes the numbers. *)
+  let kmode =
+    match kernels with Some m -> m | None -> Kreg.default_mode ()
+  in
   let staged_plan =
     if mode = Full && use_staged then begin
       let rec leaf_of = function
@@ -929,16 +948,9 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?trace ?profile
             in
             let bufs = List.map sliced order in
             let b (buf, _) = buf in
-            (match (kernel, bufs) with
-            | "gemm", [ a; x; y ] -> Kernels.gemm ~a:(b a) ~b:(b x) ~c:(b y)
-            | "gemv", [ a; x; y ] -> Kernels.gemv ~a:(b a) ~b:(b x) ~c:(b y)
-            | "ttv", [ a; x; y ] -> Kernels.ttv ~a:(b a) ~b:(b x) ~c:(b y)
-            | "ttm", [ a; x; y ] -> Kernels.ttm ~a:(b a) ~b:(b x) ~c:(b y)
-            | "mttkrp", [ a; x; y; z ] ->
-                Kernels.mttkrp ~a:(b a) ~b:(b x) ~c:(b y) ~d:(b z)
-            | "innerprod", [ a; x; y ] ->
-                Dense.add_lin (b a) 0 (Kernels.inner_product (b x) (b y))
-            | _ -> invalid_arg ("bad substituted kernel " ^ kernel));
+            (* Registry dispatch: [Off] and [Naive] run the reference
+               loops, [Tiled] the blocked microkernels. *)
+            Kreg.run_named kmode ~kernel (List.map b bufs);
             (* Write back a sliced output. *)
             (match (order, bufs) with
             | out :: _, (slice, Some (buf, local)) :: _ when String.equal out out_name ->
@@ -968,7 +980,8 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?trace ?profile
                   in
                   let insts = Array.mapi inst_of slots in
                   Array.for_all Option.is_some insts
-                  && Expr_stage.run sp ~env ~insts:(Array.map Option.get insts)
+                  && Expr_stage.run ~kernels:kmode sp ~env
+                       ~insts:(Array.map Option.get insts)
             in
             if not staged_done then begin
             let extents = Array.of_list (List.map (Provenance.extent prov) vars) in
@@ -1226,8 +1239,13 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?trace ?profile
           if a.ctouch.(proc) || a.mtouch.(proc) then begin
             let cmp =
               if a.ctouch.(proc) then
-                Cost.compute_time cost ~flops:a.cflops.(proc)
-                  ~bytes_touched:a.cbytes.(proc)
+                match priced_kernel with
+                | Some k ->
+                    Cost.leaf_compute_time cost ~kernel:k
+                      ~flops:a.cflops.(proc) ~bytes_touched:a.cbytes.(proc)
+                | None ->
+                    Cost.compute_time cost ~flops:a.cflops.(proc)
+                      ~bytes_touched:a.cbytes.(proc)
               else 0.0
             in
             let cm =

@@ -57,6 +57,7 @@ val execute :
   ?coalesce:bool ->
   ?domains:int ->
   ?staged:bool ->
+  ?kernels:Distal_tensor.Kernel_registry.mode ->
   ?trace:trace_event list ref ->
   ?profile:Distal_obs.Profile.t ->
   ?faults:Distal_fault.Fault.t ->
@@ -90,6 +91,16 @@ val execute :
     loops ({!Distal_ir.Expr_stage}); shapes that cannot be staged fall
     back to the generic [Expr.eval] loop. Staged and generic execution are
     bit-identical.
+
+    [kernels] (default: [DISTAL_KERNELS], else tiled) selects the leaf
+    kernel registry mode ({!Distal_tensor.Kernel_registry}). Substituted
+    leaves run the reference loops under [Off]/[Naive] and the blocked
+    microkernels under [Tiled] (same accumulation per element, different
+    rounding order — agreement within a tolerance). Staged scalar leaves
+    that match a kernel pattern dispatch to the registry under
+    [Naive]/[Tiled]; tiled dispatch preserves the evaluator's per-element
+    operation order, so scalar-path results stay bit-identical across all
+    three modes. Simulated time never depends on [kernels].
 
     With [profile], the execution registers itself as a run of the profile
     and emits structured observability data: per-step compute/comm spans

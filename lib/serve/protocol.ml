@@ -117,11 +117,12 @@ let int_array_of_json ~what = function
 let opt_field k = function None -> [] | Some v -> [ (k, v) ]
 
 let json_of_dense d =
-  let a = Dense.unsafe_data d in
   Json.Obj
     [
       ("shape", json_of_int_array (Dense.shape d));
-      ("values", Json.List (Array.to_list (Array.map (fun v -> Json.Float v) a)));
+      ( "values",
+        Json.List (List.init (Dense.size d) (fun i -> Json.Float (Dense.get_lin d i)))
+      );
     ]
 
 let dense_of_json j =

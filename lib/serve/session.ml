@@ -130,8 +130,9 @@ let data_key = function
           Buffer.add_string buf name;
           Buffer.add_char buf ':';
           Array.iter (fun n -> Buffer.add_string buf (string_of_int n ^ ",")) (Dense.shape d);
-          let a = Dense.unsafe_data d in
-          Array.iter (fun v -> Buffer.add_int64_le buf (Int64.bits_of_float v)) a;
+          for i = 0 to Dense.size d - 1 do
+            Buffer.add_int64_le buf (Int64.bits_of_float (Dense.get_lin d i))
+          done;
           Buffer.add_char buf ';')
         data;
       "digest:" ^ Digest.to_hex (Digest.string (Buffer.contents buf))

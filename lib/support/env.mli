@@ -46,6 +46,21 @@ val serve_cache : unit -> int option
 (** [DISTAL_SERVE_CACHE]: plan-cache capacity in entries ([0] disables
     caching). *)
 
+(** {2 Leaf-kernel knobs} *)
+
+val kernels : unit -> [ `Off | `Naive | `Tiled ] option
+(** [DISTAL_KERNELS]: leaf kernel registry mode — [off] (reference loops
+    on substituted leaves, staged plans elsewhere), [naive] (registry
+    dispatch to the reference implementations) or [tiled] (registry
+    dispatch to the cache-blocked microkernels, the default). The
+    registry's own mode type lives above this library, hence the
+    polymorphic variant. *)
+
+val kernel_rate : unit -> float option
+(** [DISTAL_KERNEL_RATE]: flop/s rate (positive) pinned for every leaf
+    kernel, overriding the calibration microbenchmarks — reproducible CI
+    and what-if modelling of a different host. *)
+
 (** {2 Auto-scheduler knobs} *)
 
 val auto_cache : unit -> int option

@@ -1,17 +1,25 @@
 module Ints = Distal_support.Ints
+module A1 = Bigarray.Array1
 
-type t = { shape : int array; strides : int array; data : float array }
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) A1.t
+
+(* Backed by a flat C-layout [Bigarray.Array1] of float64: elements live
+   unboxed in one contiguous malloc'd block outside the OCaml heap, so
+   leaf kernels (Kernels, Kernel_registry, Expr_stage) can walk them with
+   [unsafe_get]/[unsafe_set] at native speed and the GC never scans or
+   moves the payload. *)
+type t = { shape : int array; strides : int array; data : buf }
+
+let alloc n = A1.create Bigarray.float64 Bigarray.c_layout n
 
 let create shape =
-  {
-    shape = Array.copy shape;
-    strides = Ints.row_major_strides shape;
-    data = Array.make (Ints.prod shape) 0.0;
-  }
+  let data = alloc (Ints.prod shape) in
+  A1.fill data 0.0;
+  { shape = Array.copy shape; strides = Ints.row_major_strides shape; data }
 
 let dims t = Array.length t.shape
 let shape t = Array.copy t.shape
-let size t = Array.length t.data
+let size t = A1.dim t.data
 let bytes t = 8 * size t
 
 let offset t coord =
@@ -24,64 +32,109 @@ let offset t coord =
     coord;
   !acc
 
-let get t coord = t.data.(offset t coord)
-let set t coord v = t.data.(offset t coord) <- v
-let add_at t coord v = t.data.(offset t coord) <- t.data.(offset t coord) +. v
-let fill t v = Array.fill t.data 0 (Array.length t.data) v
+let get t coord = t.data.{offset t coord}
+let set t coord v = t.data.{offset t coord} <- v
+let add_at t coord v = t.data.{offset t coord} <- t.data.{offset t coord} +. v
+let fill t v = A1.fill t.data v
 let unsafe_data t = t.data
-let get_lin t i = t.data.(i)
-let set_lin t i v = t.data.(i) <- v
-let add_lin t i v = t.data.(i) <- t.data.(i) +. v
+let get_lin t i = t.data.{i}
+let set_lin t i v = t.data.{i} <- v
+let add_lin t i v = t.data.{i} <- t.data.{i} +. v
+let unsafe_get t i = A1.unsafe_get t.data i
+let unsafe_set t i v = A1.unsafe_set t.data i v
 
 let init shape f =
   let t = create shape in
   Ints.iter_box shape (fun c -> set t c (f c));
   t
 
-let copy t = { t with shape = Array.copy t.shape; data = Array.copy t.data }
+let copy t =
+  let data = alloc (size t) in
+  A1.blit t.data data;
+  { shape = Array.copy t.shape; strides = Array.copy t.strides; data }
 
 let random rng shape = init shape (fun _ -> Distal_support.Rng.float rng 1.0)
+
+(* Sub-box copies walk whole innermost-dimension rows: the row is
+   contiguous in both source and destination, so each one is a single
+   [Array1.blit] (extract/blit_into) or a flat unsafe loop
+   (accumulate_into) instead of a per-element coordinate walk. This is
+   the same strided-copy discipline the registry's kernel packing uses. *)
+let rows_iter ~src_shape ~r f =
+  let lo = (r : Rect.t).lo in
+  let ext = Rect.extents r in
+  let nd = Array.length ext in
+  if nd = 0 then f 0 0 1
+  else begin
+    let row = ext.(nd - 1) in
+    if row > 0 && Array.for_all (fun e -> e > 0) ext then begin
+      let sstr = Ints.row_major_strides src_shape in
+      let outer = Array.sub ext 0 (nd - 1) in
+      let dstr = Ints.row_major_strides ext in
+      Ints.iter_box outer (fun oc ->
+          let soff = ref lo.(nd - 1) and doff = ref 0 in
+          Array.iteri
+            (fun d c ->
+              soff := !soff + ((lo.(d) + c) * sstr.(d));
+              doff := !doff + (c * dstr.(d)))
+            oc;
+          f !soff !doff row)
+    end
+  end
 
 let extract t r =
   assert (Rect.subset r (Rect.full t.shape));
   let out = create (Rect.extents r) in
-  let lo = (r : Rect.t).lo in
-  Ints.iter_box (Rect.extents r) (fun off ->
-      let src = Array.init (dims t) (fun d -> lo.(d) + off.(d)) in
-      set out off (get t src));
+  rows_iter ~src_shape:t.shape ~r (fun soff doff len ->
+      A1.blit (A1.sub t.data soff len) (A1.sub out.data doff len));
   out
 
 let blit_into ~src ~dst r =
   assert (Rect.subset r (Rect.full dst.shape));
   assert (Ints.equal (shape src) (Rect.extents r));
-  let lo = (r : Rect.t).lo in
-  Ints.iter_box (Rect.extents r) (fun off ->
-      let d = Array.init (dims dst) (fun k -> lo.(k) + off.(k)) in
-      set dst d (get src off))
+  rows_iter ~src_shape:dst.shape ~r (fun doff soff len ->
+      A1.blit (A1.sub src.data soff len) (A1.sub dst.data doff len))
 
 let accumulate_into ~src ~dst r =
   assert (Rect.subset r (Rect.full dst.shape));
   assert (Ints.equal (shape src) (Rect.extents r));
-  let lo = (r : Rect.t).lo in
-  Ints.iter_box (Rect.extents r) (fun off ->
-      let d = Array.init (dims dst) (fun k -> lo.(k) + off.(k)) in
-      add_at dst d (get src off))
+  let s = src.data and d = dst.data in
+  rows_iter ~src_shape:dst.shape ~r (fun doff soff len ->
+      for i = 0 to len - 1 do
+        A1.unsafe_set d (doff + i)
+          (A1.unsafe_get d (doff + i) +. A1.unsafe_get s (soff + i))
+      done)
 
 let map2 f a b =
   assert (Ints.equal a.shape b.shape);
-  { a with data = Array.map2 f a.data b.data; shape = Array.copy a.shape }
+  let out = create a.shape in
+  for i = 0 to size a - 1 do
+    out.data.{i} <- f a.data.{i} b.data.{i}
+  done;
+  out
 
-let fold f init t = Array.fold_left f init t.data
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to size t - 1 do
+    acc := f !acc t.data.{i}
+  done;
+  !acc
 
 let max_abs_diff a b =
   assert (Ints.equal a.shape b.shape);
   let m = ref 0.0 in
-  Array.iteri (fun i x -> m := max !m (abs_float (x -. b.data.(i)))) a.data;
+  for i = 0 to size a - 1 do
+    m := max !m (abs_float (a.data.{i} -. b.data.{i}))
+  done;
   !m
 
 let approx_equal ?(tol = 1e-9) a b =
   Ints.equal a.shape b.shape
-  && Array.for_all (fun ok -> ok)
-       (Array.init (size a) (fun i ->
-            let x = a.data.(i) and y = b.data.(i) in
-            abs_float (x -. y) <= tol *. (1.0 +. abs_float x +. abs_float y)))
+  &&
+  let ok = ref true in
+  for i = 0 to size a - 1 do
+    let x = a.data.{i} and y = b.data.{i} in
+    if not (abs_float (x -. y) <= tol *. (1.0 +. abs_float x +. abs_float y)) then
+      ok := false
+  done;
+  !ok

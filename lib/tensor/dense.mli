@@ -26,13 +26,22 @@ val fill : t -> float -> unit
 val get_lin : t -> int -> float
 (** Access by row-major linear offset (used by leaf kernels). *)
 
-val unsafe_data : t -> float array
-(** The backing row-major element array, unguarded. For staged leaf
-    evaluators that precompute linear offsets; everything else should go
-    through the checked accessors. *)
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The backing storage: a flat C-layout bigarray of unboxed float64. *)
+
+val unsafe_data : t -> buf
+(** The backing row-major element block, unguarded. For staged leaf
+    evaluators and registry kernels that precompute linear offsets;
+    everything else should go through the checked accessors. *)
 
 val set_lin : t -> int -> float -> unit
 val add_lin : t -> int -> float -> unit
+
+val unsafe_get : t -> int -> float
+(** Unchecked linear read ([Bigarray.Array1.unsafe_get]). Kernel hot
+    loops only: the caller owns the bounds proof. *)
+
+val unsafe_set : t -> int -> float -> unit
 
 val offset : t -> int array -> int
 (** Row-major linear offset of a coordinate. *)

@@ -1,12 +1,28 @@
-let dims2 t =
-  assert (Dense.dims t = 2);
-  (Dense.shape t).(0), (Dense.shape t).(1)
+(* Shape mismatches raise [Invalid_argument] naming the kernel and the
+   offending shapes: a bad [substitute] binding must be diagnosable from
+   the message alone, not a bare [Assert_failure]. *)
+let shape_str t =
+  "["
+  ^ String.concat "x" (List.map string_of_int (Array.to_list (Dense.shape t)))
+  ^ "]"
+
+let bad_shapes kernel ts =
+  invalid_arg
+    (Printf.sprintf "Kernels.%s: incompatible shapes %s" kernel
+       (String.concat " " (List.map shape_str ts)))
+
+let require kernel ts ok = if not ok then bad_shapes kernel ts
+
+let dims2 ~kernel ~all t =
+  require kernel all (Dense.dims t = 2);
+  ((Dense.shape t).(0), (Dense.shape t).(1))
 
 let gemm ~a ~b ~c =
-  let m, n = dims2 a in
-  let mb, kk = dims2 b in
-  let kc, nc = dims2 c in
-  assert (m = mb && n = nc && kk = kc);
+  let all = [ a; b; c ] in
+  let m, n = dims2 ~kernel:"gemm" ~all a in
+  let mb, kk = dims2 ~kernel:"gemm" ~all b in
+  let kc, nc = dims2 ~kernel:"gemm" ~all c in
+  require "gemm" all (m = mb && n = nc && kk = kc);
   (* i-k-j loop order keeps the inner loop unit-stride on both A and C. *)
   for i = 0 to m - 1 do
     for k = 0 to kk - 1 do
@@ -19,9 +35,10 @@ let gemm ~a ~b ~c =
   done
 
 let gemv ~a ~b ~c =
-  let m, k = dims2 b in
-  assert (Dense.dims a = 1 && (Dense.shape a).(0) = m);
-  assert (Dense.dims c = 1 && (Dense.shape c).(0) = k);
+  let all = [ a; b; c ] in
+  let m, k = dims2 ~kernel:"gemv" ~all b in
+  require "gemv" all (Dense.dims a = 1 && (Dense.shape a).(0) = m);
+  require "gemv" all (Dense.dims c = 1 && (Dense.shape c).(0) = k);
   for i = 0 to m - 1 do
     let acc = ref 0.0 in
     for kk = 0 to k - 1 do
@@ -31,11 +48,12 @@ let gemv ~a ~b ~c =
   done
 
 let ttv ~a ~b ~c =
+  let all = [ a; b; c ] in
   let s = Dense.shape b in
-  assert (Dense.dims b = 3);
+  require "ttv" all (Dense.dims b = 3);
   let i_n = s.(0) and j_n = s.(1) and k_n = s.(2) in
-  assert (Dense.shape a = [| i_n; j_n |]);
-  assert (Dense.shape c = [| k_n |]);
+  require "ttv" all (Dense.shape a = [| i_n; j_n |]);
+  require "ttv" all (Dense.shape c = [| k_n |]);
   for i = 0 to i_n - 1 do
     for j = 0 to j_n - 1 do
       let acc = ref 0.0 in
@@ -48,12 +66,13 @@ let ttv ~a ~b ~c =
   done
 
 let ttm ~a ~b ~c =
+  let all = [ a; b; c ] in
   let s = Dense.shape b in
-  assert (Dense.dims b = 3);
+  require "ttm" all (Dense.dims b = 3);
   let i_n = s.(0) and j_n = s.(1) and k_n = s.(2) in
-  let kc, l_n = dims2 c in
-  assert (kc = k_n);
-  assert (Dense.shape a = [| i_n; j_n; l_n |]);
+  let kc, l_n = dims2 ~kernel:"ttm" ~all c in
+  require "ttm" all (kc = k_n);
+  require "ttm" all (Dense.shape a = [| i_n; j_n; l_n |]);
   (* Cast to a loop of GEMMs over i, the strategy of §7.2.1. *)
   for i = 0 to i_n - 1 do
     for j = 0 to j_n - 1 do
@@ -70,13 +89,14 @@ let ttm ~a ~b ~c =
   done
 
 let mttkrp ~a ~b ~c ~d =
+  let all = [ a; b; c; d ] in
   let s = Dense.shape b in
-  assert (Dense.dims b = 3);
+  require "mttkrp" all (Dense.dims b = 3);
   let i_n = s.(0) and j_n = s.(1) and k_n = s.(2) in
-  let jc, l_n = dims2 c in
-  let kd, ld = dims2 d in
-  assert (jc = j_n && kd = k_n && ld = l_n);
-  assert (Dense.shape a = [| i_n; l_n |]);
+  let jc, l_n = dims2 ~kernel:"mttkrp" ~all c in
+  let kd, ld = dims2 ~kernel:"mttkrp" ~all d in
+  require "mttkrp" all (jc = j_n && kd = k_n && ld = l_n);
+  require "mttkrp" all (Dense.shape a = [| i_n; l_n |]);
   for i = 0 to i_n - 1 do
     for j = 0 to j_n - 1 do
       for k = 0 to k_n - 1 do
@@ -91,7 +111,7 @@ let mttkrp ~a ~b ~c ~d =
   done
 
 let inner_product x y =
-  assert (Dense.shape x = Dense.shape y);
+  require "innerprod" [ x; y ] (Dense.shape x = Dense.shape y);
   let acc = ref 0.0 in
   for i = 0 to Dense.size x - 1 do
     acc := !acc +. (Dense.get_lin x i *. Dense.get_lin y i)
@@ -103,4 +123,7 @@ let flops name extents =
   match name with
   | "mttkrp" -> 3.0 *. p
   | "gemm" | "gemv" | "ttv" | "ttm" | "innerprod" -> 2.0 *. p
-  | _ -> 2.0 *. p
+  | _ ->
+      (* A silent 2p fallback would let a renamed or mistyped kernel keep
+         a plausible price; make cost-model drift loud instead. *)
+      invalid_arg ("Kernels.flops: unknown kernel " ^ name)

@@ -6,7 +6,8 @@
     also the single-node references for the evaluation kernels of §7.2.
 
     All kernels accumulate into their output ([+=] semantics), matching the
-    reduction leaves the compiler produces. *)
+    reduction leaves the compiler produces. A shape mismatch raises
+    [Invalid_argument] naming the kernel and every operand shape. *)
 
 val gemm : a:Dense.t -> b:Dense.t -> c:Dense.t -> unit
 (** [A(i,j) += B(i,k) * C(k,j)]; shapes [i×j], [i×k], [k×j]. *)
@@ -30,4 +31,6 @@ val inner_product : Dense.t -> Dense.t -> float
 val flops : string -> int array -> float
 (** [flops name extents] is the floating point operation count of the named
     kernel over an iteration space with the given per-variable extents
-    (2 flops per multiply-add; 3 for mttkrp's two multiplies and one add). *)
+    (2 flops per multiply-add; 3 for mttkrp's two multiplies and one add).
+    Unknown kernel names raise [Invalid_argument] — an unpriceable kernel
+    must not silently default to 2 flops per point. *)
