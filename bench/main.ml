@@ -566,6 +566,85 @@ let simperf_run ~small () =
         ("auto.pool_identical", pool_identical, "bool");
         ("auto.vs_hand_min_ratio", vs_hand, "x");
       ];
+  (* Compiled executable plans (Exec.plan / Exec.run_plan): a Full run
+     that replans everything on each call against a warm run replaying
+     the compiled plan with pooled buffers, on the cyclic GEMM. The
+     speedup is gated >= 1.0 by validate_bench — reusing a plan must
+     never lose to replanning. The alloc rows report the OCaml-heap
+     words each path allocates per run (Gc.quick_stat deltas; bigarray
+     payloads are off-heap): the reuse path's near-zero column is the
+     "no per-fragment allocation on the data path" contract in numbers.
+     [cyclic-gemm.parallel_efficiency] is informational: (t1/t4)/4 of
+     the reuse path under 4 host domains — near 0.25 on a single-core
+     container, climbing toward 1 with real cores. *)
+  let rp_plan =
+    if small then simperf_gemm ~n:64 ~grid:4 ~chunks:8
+    else simperf_gemm ~n:128 ~grid:4 ~chunks:16
+  in
+  let rp_data = Api.random_inputs rp_plan in
+  let rp_reps = if small then 3 else 5 in
+  let replan () =
+    match Api.run ~reuse:false ~domains:1 rp_plan ~data:rp_data with
+    | Ok _ -> ()
+    | Error e -> failwith ("simperf replan run failed: " ^ e)
+  in
+  let ep = Api.eplan_exn rp_plan in
+  let reuse ~domains () =
+    match Api.Exec.run_plan ~domains ep ~data:rp_data with
+    | Ok _ -> ()
+    | Error e -> failwith ("simperf reuse run failed: " ^ e)
+  in
+  let best_of f =
+    let best = ref infinity in
+    for _ = 1 to rp_reps do
+      let t0 = now () in
+      f ();
+      let w = now () -. t0 in
+      if w < !best then best := w
+    done;
+    !best
+  in
+  let alloc_words f =
+    (* Gc.minor_words reads the live allocation pointer (quick_stat's
+       copy only advances at minor collections); major words stay on
+       quick_stat. *)
+    let m0 = Gc.minor_words () in
+    let g0 = Gc.quick_stat () in
+    f ();
+    let g1 = Gc.quick_stat () in
+    Gc.minor_words () -. m0 +. (g1.Gc.major_words -. g0.Gc.major_words)
+  in
+  replan ();
+  reuse ~domains:1 ();
+  let replan_wall = best_of replan in
+  let reuse_wall = best_of (reuse ~domains:1) in
+  let reuse_wall_d4 = best_of (reuse ~domains:4) in
+  let plan_reuse_speedup = if reuse_wall > 0.0 then replan_wall /. reuse_wall else 0.0 in
+  let parallel_efficiency =
+    if reuse_wall_d4 > 0.0 then reuse_wall /. reuse_wall_d4 /. 4.0 else 0.0
+  in
+  let replan_alloc = alloc_words replan in
+  let reuse_alloc = alloc_words (reuse ~domains:1) in
+  Distal_support.Table.add_row table
+    [
+      "plan reuse (warm vs replan)";
+      Printf.sprintf "%.3f ms" (reuse_wall *. 1e3);
+      Printf.sprintf "%.3f ms" (replan_wall *. 1e3);
+      Printf.sprintf "%.1fx" plan_reuse_speedup;
+      "-";
+      Printf.sprintf "%.3f ms" (reuse_wall_d4 *. 1e3);
+      "-";
+      Printf.sprintf "%.2f/%.2f Mw" (reuse_alloc /. 1e6) (replan_alloc /. 1e6);
+      "-";
+    ];
+  metrics :=
+    !metrics
+    @ [
+        ("exec.plan_reuse_speedup", plan_reuse_speedup, "x");
+        ("exec.replan_alloc_mwords", replan_alloc /. 1e6, "Mwords");
+        ("exec.reuse_alloc_mwords", reuse_alloc /. 1e6, "Mwords");
+        ("cyclic-gemm.parallel_efficiency", parallel_efficiency, "ratio");
+      ];
   Distal_support.Table.print table;
   let json =
     Json.Obj

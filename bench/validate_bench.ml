@@ -161,6 +161,11 @@ let check_speedups () =
         fail
           "%s is %.3fx: the tiled leaf kernels lost to the staged scalar nest they \
            replace"
+          name v;
+      if String.ends_with ~suffix:".plan_reuse_speedup" name && v < 1.0 then
+        fail
+          "%s is %.3fx: replaying a compiled executable plan lost to replanning every \
+           run"
           name v)
     !seen_metrics
 

@@ -77,7 +77,24 @@ let or_invalid = function Ok x -> x | Error e -> invalid_arg e
 let problem_exn ?profile ?virtual_grid ~machine ~stmt ~tensors () =
   or_invalid (problem ?profile ?virtual_grid ~machine ~stmt ~tensors ())
 
-type plan = { problem : problem; cin : Cin.t; program : Taskir.program }
+(* Lazily compiled executable plans, keyed on everything that changes the
+   compiled artefact (coalesce setting, cost-model digest, fault plan).
+   Lives on the plan itself so every consumer of the same [plan] value —
+   repeated [run] calls, the serving layer's plan cache — shares the
+   compiled artefacts. Compilation is single-flight under the mutex. *)
+type exec_cache = {
+  ec_m : Mutex.t;
+  mutable ec_entries : (string * Exec.eplan) list;
+}
+
+let new_exec_cache () = { ec_m = Mutex.create (); ec_entries = [] }
+
+type plan = {
+  problem : problem;
+  cin : Cin.t;
+  program : Taskir.program;
+  exec_cache : exec_cache;
+}
 
 let compile ?profile problem ~schedule =
   let shapes = shapes_of problem.tensors in
@@ -86,7 +103,7 @@ let compile ?profile problem ~schedule =
     phase profile "schedule rewrites" (fun () -> Schedule.apply_all cin schedule)
   in
   let* program = phase profile "lower" (fun () -> Lower.lower cin ~shapes) in
-  Ok { problem; cin; program }
+  Ok { problem; cin; program; exec_cache = new_exec_cache () }
 
 let compile_exn ?profile problem ~schedule = or_invalid (compile ?profile problem ~schedule)
 
@@ -112,16 +129,50 @@ let spec ?cost plan =
     virtual_grid = plan.problem.virtual_grid;
   }
 
+let eplan ?(coalesce = true) ?cost ?faults plan =
+  let sp = spec ?cost plan in
+  let key =
+    Printf.sprintf "%b|%s|%s" coalesce
+      (Cost_model.digest sp.Exec.cost)
+      (match faults with Some f -> Fault.to_string f | None -> "-")
+  in
+  let c = plan.exec_cache in
+  Mutex.lock c.ec_m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.ec_m) @@ fun () ->
+  match List.assoc_opt key c.ec_entries with
+  | Some ep -> Ok ep
+  | None ->
+      let* ep = Exec.plan ~coalesce ?faults sp in
+      c.ec_entries <- (key, ep) :: c.ec_entries;
+      Ok ep
+
+let eplan_exn ?coalesce ?cost ?faults plan =
+  or_invalid (eplan ?coalesce ?cost ?faults plan)
+
 let run ?mode ?coalesce ?domains ?staged ?kernels ?cost ?trace ?profile ?faults
-    plan ~data =
-  Exec.execute ?mode ?coalesce ?domains ?staged ?kernels ?trace ?profile
-    ?faults (spec ?cost plan) ~data
+    ?reuse plan ~data =
+  let want_reuse =
+    match reuse with
+    | Some b -> b
+    | None -> Distal_support.Env.plan_reuse ()
+  in
+  let full = match mode with None | Some Exec.Full -> true | _ -> false in
+  (* The reuse path serves exactly the calls a compiled plan can satisfy:
+     Full-mode data runs with no tracing or profiling. Everything else —
+     Model mode, copy traces, per-run profiles — re-derives the
+     simulation, which is the thing being asked for. *)
+  if full && want_reuse && Option.is_none trace && Option.is_none profile then
+    let* ep = eplan ?coalesce ?cost ?faults plan in
+    Exec.run_plan ?domains ?staged ?kernels ep ~data
+  else
+    Exec.execute ?mode ?coalesce ?domains ?staged ?kernels ?trace ?profile
+      ?faults (spec ?cost plan) ~data
 
 let run_exn ?mode ?coalesce ?domains ?staged ?kernels ?cost ?trace ?profile
-    ?faults plan ~data =
+    ?faults ?reuse plan ~data =
   or_invalid
     (run ?mode ?coalesce ?domains ?staged ?kernels ?cost ?trace ?profile
-       ?faults plan ~data)
+       ?faults ?reuse plan ~data)
 
 let estimate ?cost ?profile plan =
   match Exec.execute ~mode:Exec.Model ?profile (spec ?cost plan) ~data:[] with

@@ -67,10 +67,18 @@ val problem_exn :
   ?profile:Obs.Profile.t -> ?virtual_grid:int array -> machine:Machine.t ->
   stmt:string -> tensors:tensor list -> unit -> problem
 
+type exec_cache
+(** Per-plan cache of compiled executable plans ({!Exec.eplan}), keyed on
+    the (coalesce, cost model, fault plan) options. Created empty by
+    {!compile}; filled lazily by {!eplan} / the {!run} reuse path. *)
+
+val new_exec_cache : unit -> exec_cache
+
 type plan = {
   problem : problem;
   cin : Distal_ir.Cin.t;  (** the scheduled concrete index notation *)
   program : Distal_ir.Taskir.program;  (** the lowered task IR *)
+  exec_cache : exec_cache;
 }
 
 val compile :
@@ -91,6 +99,20 @@ val default_cost : Machine.t -> Cost_model.t
 (** {!Cost_model.cpu_distal} or {!Cost_model.gpu_distal} by processor
     kind. *)
 
+val eplan :
+  ?coalesce:bool ->
+  ?cost:Cost_model.t ->
+  ?faults:Fault.t ->
+  plan ->
+  (Exec.eplan, string) result
+(** The compiled executable plan for the given options, compiled on
+    first use and cached on the plan's {!exec_cache} (single-flight).
+    Repeated {!run} calls on one plan — and serving-layer hits on a
+    cached plan — replan nothing. *)
+
+val eplan_exn :
+  ?coalesce:bool -> ?cost:Cost_model.t -> ?faults:Fault.t -> plan -> Exec.eplan
+
 val run :
   ?mode:Exec.mode ->
   ?coalesce:bool ->
@@ -101,6 +123,7 @@ val run :
   ?trace:Exec.trace_event list ref ->
   ?profile:Obs.Profile.t ->
   ?faults:Fault.t ->
+  ?reuse:bool ->
   plan ->
   data:(string * Dense.t) list ->
   (Exec.result, string) result
@@ -111,13 +134,21 @@ val run :
     [kernels] the leaf kernel registry mode (default [DISTAL_KERNELS],
     else tiled) — none affects traces, stats or event streams; [faults]
     injects a deterministic fault plan whose kills are recovered by
-    checkpoint/replay, bit-identically (see {!Exec.execute}). *)
+    checkpoint/replay, bit-identically (see {!Exec.execute}).
+
+    [reuse] (default [DISTAL_PLAN_REUSE], on unless set to 0) routes
+    Full-mode calls with no [trace]/[profile] through the plan's cached
+    executable plan ({!eplan} + {!Exec.run_plan}): plan once, then run
+    each call against its data with pooled buffers. Outputs are
+    byte-identical to the replanning path; the returned stats are the
+    plan-time modeled stats. Model mode, traced and profiled runs always
+    take the replanning path. *)
 
 val run_exn :
   ?mode:Exec.mode -> ?coalesce:bool -> ?domains:int -> ?staged:bool ->
   ?kernels:Kernel_registry.mode ->
   ?cost:Cost_model.t -> ?trace:Exec.trace_event list ref ->
-  ?profile:Obs.Profile.t -> ?faults:Fault.t -> plan ->
+  ?profile:Obs.Profile.t -> ?faults:Fault.t -> ?reuse:bool -> plan ->
   data:(string * Dense.t) list -> Exec.result
 
 val estimate : ?cost:Cost_model.t -> ?profile:Obs.Profile.t -> plan -> Stats.t

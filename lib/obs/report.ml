@@ -160,9 +160,21 @@ let host_execution reg =
   | None -> ""
   | Some wall ->
       let v name = Option.value (Metrics.value reg name) ~default:0.0 in
-      Printf.sprintf "host: probe %.3g s wall on %.0f domain(s), %.0f%% pool utilization\n"
+      let alloc =
+        (* OCaml-heap allocation of the run itself (Gc.quick_stat deltas);
+           bigarray payloads live off-heap, so this tracks planning and
+           bookkeeping churn — the words a reused executable plan avoids. *)
+        match Metrics.value reg "exec.alloc_minor_words" with
+        | None -> ""
+        | Some minor ->
+            Printf.sprintf ", %.3g M minor / %.3g M major words"
+              (minor /. 1e6)
+              (v "exec.alloc_major_words" /. 1e6)
+      in
+      Printf.sprintf "host: probe %.3g s wall on %.0f domain(s), %.0f%% pool utilization%s\n"
         wall (v "exec.pool_domains")
         (100.0 *. v "exec.pool_utilization")
+        alloc
 
 let run_report (run : Profile.run) =
   let buf = Buffer.create 512 in

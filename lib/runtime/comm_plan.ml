@@ -193,7 +193,19 @@ let rec sorted_rect_list = function
   | [] | [ _ ] -> true
   | a :: (b :: _ as rest) -> compare_rect a b <= 0 && sorted_rect_list rest
 
-let coalesce raws =
+(* Reusable working tables for [coalesce]: the executor's timing assembly
+   plans one step after another, and reallocating the intern and bucket
+   hashes per step is measurable churn on many-step schedules. A scratch
+   is cleared (capacity kept) at the start of every planning call; it must
+   not be shared between concurrent callers. *)
+type scratch = {
+  s_tensors : (string, int) Hashtbl.t;
+  s_buckets : (int, raw list ref) Hashtbl.t;
+}
+
+let scratch () = { s_tensors = Hashtbl.create 8; s_buckets = Hashtbl.create 64 }
+
+let coalesce ?scratch:sc raws =
   (* Bucket by (tensor, src, dst). Tensor names are interned to small ints
      so bucket keys are plain ints; consecutive raws usually name the same
      tensor (the executor emits one task's fetches together), so the
@@ -201,7 +213,14 @@ let coalesce raws =
      holding a single batch reuses the batch's pre-merged payload
      outright — the common case, since the executor merges each fetch
      plan once and shares it across tasks. *)
-  let tensors = Hashtbl.create 8 in
+  let tensors, buckets =
+    match sc with
+    | Some s ->
+        Hashtbl.clear s.s_tensors;
+        Hashtbl.clear s.s_buckets;
+        (s.s_tensors, s.s_buckets)
+    | None -> (Hashtbl.create 8, Hashtbl.create 64)
+  in
   let last_tn = ref "" and last_id = ref 0 in
   let intern tn =
     if tn == !last_tn then !last_id
@@ -219,7 +238,6 @@ let coalesce raws =
       id
     end
   in
-  let buckets : (int, raw list ref) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun (r : raw) ->
       let key = (intern r.tensor lsl 44) lor (r.src lsl 22) lor r.dst in

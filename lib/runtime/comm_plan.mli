@@ -67,12 +67,21 @@ type xfer = {
 (** One planned transfer: everything [src] sends to [dst] for [tensor] in
     one step, as a single (possibly strided) message. *)
 
-val coalesce : raw list -> xfer list
+type scratch
+(** Reusable working tables for {!coalesce}. A caller that plans many
+    times in a row (the executor's per-step timing assembly) allocates one
+    scratch and passes it to every call; the tables are cleared — capacity
+    kept — on entry. Not safe to share between concurrent callers. *)
+
+val scratch : unit -> scratch
+
+val coalesce : ?scratch:scratch -> raw list -> xfer list
 (** Merge raw batches into maximal block transfers, one per (tensor, src,
     dst) triple. Input order is irrelevant; the result is deterministically
     sorted by (tensor, src, payload, dst), so transfers broadcasting the
     same payload from the same source sit adjacent with ascending
-    destinations. *)
+    destinations. [scratch] reuses working tables across calls; the result
+    is identical with or without it. *)
 
 val uncoalesced : raw list -> xfer list
 (** The identity plan: one single-rectangle transfer per raw fragment, in

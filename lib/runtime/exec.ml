@@ -135,6 +135,40 @@ type fx =
 
 type task_result = { tr_proc : int; tr_fxs : fx list; tr_dyn_max : float }
 
+(* {2 Recorded data operations} *)
+
+(* The data path of one task, recorded during a planning probe. A task's
+   control flow — instance footprints, communicate points, leaf schedule —
+   depends only on the spec, never on tensor contents, so a Model-mode
+   probe can record exactly the data operations a Full-mode run performs.
+   [run_plan] replays them against fresh tensor data with pooled buffers;
+   replaying (instead of re-simulating) is what makes the steady state of
+   a compiled plan free of per-fragment allocation. *)
+type drole =
+  | R_input  (* instance of an input tensor: fill from the caller's data *)
+  | R_output  (* zero-seeded output delta (owner-computes write or
+                 reduction partial); the base value joins at merge time *)
+  | R_read_out
+      (* read-only instance of the output for self-referencing statements:
+         fill from the caller's output data *)
+
+type dslice = {
+  ds_tensor : string;
+  ds_local : Rect.t option;
+      (* [None]: the leaf uses the whole cached instance. [Some local]: the
+         instance covers more than this leaf execution touches — copy the
+         [local] sub-box out and, for the output operand, write it back. *)
+}
+
+type dop =
+  | D_inst of { tensor : string; rect : Rect.t; role : drole }
+      (* materialize an instance at a communicate point *)
+  | D_leaf of { denv : (string * int) array; slices : dslice list }
+      (* run the leaf under the recorded launch/sequential-variable
+         bindings; [slices] is the kernel-order slicing plan for
+         substituted leaves (empty for scalar nests) *)
+  | D_flush  (* the current output instance becomes a merge contribution *)
+
 (* Per-step accumulators, preallocated per physical processor. One record
    per *active* step (a step some copy or compute touched), so the timing
    assembly walks flat arrays instead of hashing (step, proc) pairs and
@@ -289,8 +323,8 @@ let ops_per_point (stmt : Expr.stmt) =
   let c = count stmt.rhs + if Expr.reduction_vars stmt <> [] then 1 else 0 in
   max 1 c
 
-let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?kernels ?trace
-    ?profile ?faults spec ~data =
+let execute_impl ?(mode = Full) ?(coalesce = true) ?domains ?staged ?kernels
+    ?(record : dop list ref array option) ?trace ?profile ?faults spec ~data =
   (* Register this execution as a run of the profile (its own pid, metrics
      registry and timeline slot). Without a profile the registry is private
      to this call; either way it is the single accumulator the final
@@ -299,6 +333,11 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?kernels ?trace
   let reg =
     match prun with Some r -> r.Profile.metrics | None -> Metrics.create ()
   in
+  (* Gc.minor_words reads the live allocation pointer; quick_stat's
+     minor_words only advances at minor collections and misses short
+     runs entirely. *)
+  let gc0_minor = Gc.minor_words () in
+  let gc0 = Gc.quick_stat () in
   let m_flops = Metrics.counter reg "exec.flops" in
   let m_bytes_intra = Metrics.counter reg "exec.bytes_intra" in
   let m_bytes_inter = Metrics.counter reg "exec.bytes_inter" in
@@ -563,11 +602,15 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?kernels ?trace
      per-piece decisions collapse into a handful of per-owner batches. *)
   let make_lane_ctx () =
     let cursor = Rect_index.cursor () in
-    let pieces_memo : (string * string, (Rect.t * int list) list) Hashtbl.t =
+    (* Memo keys are structural (tensor, rect) pairs: rects hash and
+       compare directly, so the hot per-task lookups cost no string
+       rendering — under multi-domain probes that formatting was a
+       measurable source of allocation (and thus shared-GC contention). *)
+    let pieces_memo : (string * Rect.t, (Rect.t * int list) list) Hashtbl.t =
       Hashtbl.create 256
     in
     let pieces_of tn rect =
-      let key = (tn, Rect.to_string rect) in
+      let key = (tn, rect) in
       match Hashtbl.find_opt pieces_memo key with
       | Some ps -> ps
       | None ->
@@ -575,11 +618,11 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?kernels ?trace
           Hashtbl.add pieces_memo key ps;
           ps
     in
-    let plans_memo : (string * string, fetch_group list) Hashtbl.t =
+    let plans_memo : (string * Rect.t, fetch_group list) Hashtbl.t =
       Hashtbl.create 64
     in
     let plan_of tn rect =
-      let key = (tn, Rect.to_string rect) in
+      let key = (tn, rect) in
       match Hashtbl.find_opt plans_memo key with
       | Some plan -> plan
       | None ->
@@ -650,7 +693,7 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?kernels ?trace
         steps_acc.(step) <- Some a;
         a
   in
-  let red_contribs : (string, float * int list) Hashtbl.t = Hashtbl.create 16 in
+  let red_contribs : (Rect.t, float * int list) Hashtbl.t = Hashtbl.create 16 in
   let add_compute ~step ~proc ~flops ~bytes =
     let a = acc_of step in
     a.cflops.(proc) <- a.cflops.(proc) +. flops;
@@ -742,11 +785,15 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?kernels ?trace
     end
     else None
   in
-  let run_task ~fmemo ~pieces_of ~plan_of (point : int array) =
+  let run_task ~fmemo ~pieces_of ~plan_of ?drec (point : int array) =
     let proc_coord = Mapper.proc_of_point machine ~launch_dims:ldims point in
     let proc = Machine.linearize machine proc_coord in
     let fxs = ref [] in
     let emit e = fxs := e :: !fxs in
+    (* Data-op recording (plan compilation). Reset on entry so a kill
+       replay of this point rewrites an identical list. *)
+    (match drec with Some r -> r := [] | None -> ());
+    let demit d = match drec with Some r -> r := d :: !r | None -> () in
     let env_tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
     List.iteri (fun i v -> Hashtbl.replace env_tbl v point.(i)) lvars;
     let env v = Hashtbl.find_opt env_tbl v in
@@ -807,6 +854,7 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?kernels ?trace
         (plan_of tn rect)
     in
     let flush_output ?step rect buf =
+      demit D_flush;
       let step = match step with Some s -> s | None -> step_of () in
       if reduction then emit (Fx_red { step; rect; buf })
       else begin
@@ -872,6 +920,13 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?kernels ?trace
           else Some (Dense.extract (Hashtbl.find global tn) rect)
         in
         Hashtbl.replace cache tn (rect, buf, counted);
+        demit
+          (D_inst
+             {
+               tensor = tn;
+               rect;
+               role = (if tn = out_name then R_output else R_input);
+             });
         if tn = out_name && reads_out then begin
           (match !out_read with
           | Some (r0, _, counted0) ->
@@ -885,7 +940,8 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?kernels ?trace
             | Some src when mode = Full -> Some (Dense.extract src rect)
             | _ -> None
           in
-          out_read := Some (rect, rbuf, counted_r)
+          out_read := Some (rect, rbuf, counted_r);
+          demit (D_inst { tensor = tn; rect; role = R_read_out })
         end
       end
     in
@@ -916,6 +972,52 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?kernels ?trace
              flops = float_of_int ops *. leaf_points ();
              bytes = leaf_bytes ();
            });
+      (* Recording: snapshot the variable bindings the leaf runs under
+         (launch + sequential vars — leaf vars are bound inside) and, for
+         substituted kernels, the slicing plan relative to the cached
+         instances. Both depend only on the spec, so a Model-mode probe
+         records exactly what a Full-mode leaf execution does. *)
+      (match drec with
+      | None -> ()
+      | Some _ ->
+          let slices =
+            match leaf with
+            | Taskir.Scalar_loops _ -> []
+            | Taskir.Named _ ->
+                let _, order =
+                  match named_order with Some ko -> ko | None -> assert false
+                in
+                List.map
+                  (fun tn ->
+                    let r =
+                      match Hashtbl.find_opt cache tn with
+                      | Some (r, _, _) -> r
+                      | None ->
+                          invalid_arg
+                            ("leaf recorded without an instance of " ^ tn)
+                    in
+                    let shape = Taskir.shape_of prog tn in
+                    let need = Bounds.footprint fmemo ~env ~shape tn in
+                    if Rect.equal need r then { ds_tensor = tn; ds_local = None }
+                    else begin
+                      assert (Rect.subset need r);
+                      let local =
+                        Rect.make
+                          ~lo:
+                            (Array.mapi
+                               (fun d x -> x - (r : Rect.t).lo.(d))
+                               (need : Rect.t).lo)
+                          ~hi:
+                            (Array.mapi
+                               (fun d x -> x - (r : Rect.t).lo.(d))
+                               (need : Rect.t).hi)
+                      in
+                      { ds_tensor = tn; ds_local = Some local }
+                    end)
+                  order
+          in
+          demit
+            (D_leaf { denv = Array.of_seq (Hashtbl.to_seq env_tbl); slices }));
       if mode = Full then begin
         let buffer tn =
           match Hashtbl.find_opt cache tn with
@@ -1045,6 +1147,7 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?kernels ?trace
     (match Hashtbl.find_opt cache out_name with
     | Some (r, buf, _) -> flush_output ~step:(nsteps - 1) r buf
     | None -> ());
+    (match drec with Some r -> r := List.rev !r | None -> ());
     { tr_proc = proc; tr_fxs = List.rev !fxs; tr_dyn_max = !dyn_max }
   in
   let points =
@@ -1054,6 +1157,13 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?kernels ?trace
         (List.rev (Ints.fold_box ldims ~init:[] ~f:(fun acc c -> c :: acc)))
   in
   let npoints = Array.length points in
+  (* One recording slot per launch point, when a plan compilation asked
+     for them ([plan] builds the array from the same launch box). *)
+  let drec_of i =
+    match record with
+    | Some arr when Array.length arr = npoints -> Some arr.(i)
+    | _ -> None
+  in
   (* {3 Parallel probe, serial merge} *)
   (* Launch points are independent by construction (the distribution
      partitions the output), so lanes probe contiguous point ranges
@@ -1071,7 +1181,8 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?kernels ?trace
       let fmemo, pieces_of, plan_of = make_lane_ctx () in
       let lo = lane * npoints / lanes and hi = (lane + 1) * npoints / lanes in
       for i = lo to hi - 1 do
-        results.(i) <- Some (run_task ~fmemo ~pieces_of ~plan_of points.(i))
+        results.(i) <-
+          Some (run_task ~fmemo ~pieces_of ~plan_of ?drec:(drec_of i) points.(i))
       done;
       lane_busy.(lane) <- Pool.now () -. t0);
   let compute_wall = Pool.now () -. wall0 in
@@ -1100,7 +1211,10 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?kernels ?trace
         (fun idx r ->
           let proc = (Option.get r).tr_proc in
           if Injector.ever_dead i ~proc then
-            results.(idx) <- Some (run_task ~fmemo ~pieces_of ~plan_of points.(idx)))
+            results.(idx) <-
+              Some
+                (run_task ~fmemo ~pieces_of ~plan_of ?drec:(drec_of idx)
+                   points.(idx)))
         results
   | _ -> ());
   (* Replay every task's deferred effects in launch-point order: metrics,
@@ -1125,17 +1239,15 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?kernels ?trace
               | Some c when not (Rect.is_empty rect) ->
                   Checkpoint.record c ~step ~proc:rproc rect
               | _ -> ());
-              (match Hashtbl.find_opt red_contribs (Rect.to_string rect) with
+              (match Hashtbl.find_opt red_contribs rect with
               | Some (b, procs) ->
                   (* Under kills, remapping can fold two contributors onto
                      one survivor; count it once. Fault-free, keep every
                      contribution exactly as before. *)
                   if not (have_kills && List.mem rproc procs) then
-                    Hashtbl.replace red_contribs (Rect.to_string rect)
-                      (b, rproc :: procs)
+                    Hashtbl.replace red_contribs rect (b, rproc :: procs)
               | None ->
-                  Hashtbl.add red_contribs (Rect.to_string rect)
-                    (bytes_of_rect rect, [ rproc ]));
+                  Hashtbl.add red_contribs rect (bytes_of_rect rect, [ rproc ]));
               match buf with
               | Some b when not (Rect.is_empty rect) ->
                   Dense.accumulate_into ~src:b ~dst:(Hashtbl.find global out_name)
@@ -1169,6 +1281,9 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?kernels ?trace
   let sorted_groups : (int, group list) Hashtbl.t = Hashtbl.create 64 in
   let total_fragments = ref 0 and total_messages = ref 0 in
   let rev_rows = ref [] in
+  (* One set of planner working tables for the whole assembly: the
+     intern/bucket hashes are cleared, not reallocated, between steps. *)
+  let cscratch = Comm_plan.scratch () in
   for step = 0 to nsteps - 1 do
     match steps_acc.(step) with
     | None -> ()
@@ -1178,7 +1293,7 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?kernels ?trace
            disabled), then bundle identical payloads into broadcasts. *)
         let t_plan = Pool.now () in
         let plan =
-          if coalesce then Comm_plan.coalesce a.raws
+          if coalesce then Comm_plan.coalesce ~scratch:cscratch a.raws
           else Comm_plan.uncoalesced a.raws
         in
         let glist = group_transfers plan in
@@ -1519,10 +1634,335 @@ let execute ?(mode = Full) ?(coalesce = true) ?domains ?staged ?kernels ?trace
             total = total_time;
           }
   | _ -> ());
+  (* Host allocation accounting: OCaml words this execution allocated
+     (bigarray payloads live outside the heap and are not counted).
+     Gauges only — [Stats.of_registry] reads a fixed name set, so the
+     derived stats and the determinism contract are untouched. The
+     simperf bench compares these between the replan and plan-reuse
+     paths; {!Distal_obs.Report.host_execution} prints them. *)
+  let gc1 = Gc.quick_stat () in
+  Metrics.set
+    (Metrics.gauge reg "exec.alloc_minor_words")
+    (Gc.minor_words () -. gc0_minor);
+  Metrics.set
+    (Metrics.gauge reg "exec.alloc_major_words")
+    (gc1.Gc.major_words -. gc0.Gc.major_words);
   let stats = Stats.of_registry reg in
   (match trace with Some log -> log := List.rev !log | None -> ());
   let output = if mode = Full then Hashtbl.find_opt global out_name else None in
   Ok { output; stats }
+
+let execute ?mode ?coalesce ?domains ?staged ?kernels ?trace ?profile ?faults
+    spec ~data =
+  execute_impl ?mode ?coalesce ?domains ?staged ?kernels ?trace ?profile
+    ?faults spec ~data
+
+(* {2 Compiled executable plans} *)
+
+module Buf_pool = Distal_support.Buf_pool
+
+(* Plan once per (program x schedule x machine x options), run many times
+   against new tensor data. The plan phase is one Model-mode execution
+   with data-op recording switched on: it prices the schedule exactly as
+   [execute] does (stats are byte-identical to a fresh run's stats) and
+   captures, per launch point, the ordered data operations a Full-mode
+   run performs. The run phase replays those operations with buffers from
+   a size-classed pool ({!Buf_pool}) — per-lane arenas during the
+   parallel probe, released back after the serial merge — so a warm run
+   allocates no fragment, reduction or slice buffers at all. *)
+type eplan = {
+  ep_spec : spec;
+  ep_stats : Stats.t;  (* modeled per-run stats, fixed at plan time *)
+  ep_dops : dop list array;  (* per launch point, launch-point order *)
+  ep_named : (string * string list) option;  (* substituted kernel, order *)
+  ep_staged : Expr_stage.plan option;
+  ep_leaf_vars : string list;  (* Scalar_loops nest, outermost first *)
+  ep_reads_out : bool;
+  ep_accum : bool;
+  ep_out_name : string;
+  ep_out_shape : int array;
+  ep_tensors : string list;
+  ep_pool : Buf_pool.t;
+  ep_m : Mutex.t;  (* one run at a time: arenas are per-plan state *)
+  mutable ep_runs : int;
+}
+
+let plan ?(coalesce = true) ?faults spec =
+  let prog = spec.program in
+  let stmt = prog.stmt in
+  let _, ldims = Taskir.launch prog in
+  let points =
+    if Array.length ldims = 0 then [| [||] |]
+    else
+      Array.of_list
+        (List.rev (Ints.fold_box ldims ~init:[] ~f:(fun acc c -> c :: acc)))
+  in
+  let record = Array.map (fun _ -> ref []) points in
+  let* r = execute_impl ~mode:Model ~coalesce ?faults ~record spec ~data:[] in
+  let rec leaf_of = function
+    | Taskir.Launch { body; _ } | Seq_loop { body; _ } | Ensure { body; _ } ->
+        leaf_of body
+    | Leaf l -> l
+  in
+  let named, leaf_vars =
+    match leaf_of prog.tree with
+    | Taskir.Named { kernel; _ } -> (
+        match Kernel_match.check stmt ~kernel with
+        | Ok order -> (Some (kernel, order), [])
+        | Error _ ->
+            (* the execution above already validated the substitution *)
+            assert false)
+    | Taskir.Scalar_loops vars -> (None, vars)
+  in
+  let staged_plan =
+    match leaf_vars with
+    | [] -> None
+    | vars -> Expr_stage.plan prog.prov ~stmt ~leaf_vars:vars
+  in
+  Ok
+    {
+      ep_spec = spec;
+      ep_stats = r.stats;
+      ep_dops = Array.map (fun r -> !r) record;
+      ep_named = named;
+      ep_staged = staged_plan;
+      ep_leaf_vars = leaf_vars;
+      ep_reads_out = Expr.reads_output stmt;
+      ep_accum = stmt.accum;
+      ep_out_name = stmt.lhs.tensor;
+      ep_out_shape = Taskir.shape_of prog stmt.lhs.tensor;
+      ep_tensors = List.sort_uniq compare (Expr.tensors stmt);
+      ep_pool = Buf_pool.create ();
+      ep_m = Mutex.create ();
+      ep_runs = 0;
+    }
+
+let plan_stats ep = { ep.ep_stats with Stats.time = ep.ep_stats.Stats.time }
+let plan_runs ep = ep.ep_runs
+let plan_pool_stats ep = Buf_pool.stats ep.ep_pool
+
+let run_plan ?domains ?staged ?kernels ep ~data =
+  let spec = ep.ep_spec in
+  let prog = spec.program in
+  let stmt = prog.stmt in
+  let prov = prog.prov in
+  let out_name = ep.ep_out_name in
+  let reads_out = ep.ep_reads_out in
+  (* Same input contract as [execute]. *)
+  let* () =
+    List.fold_left
+      (fun acc tn ->
+        let* () = acc in
+        if tn = out_name && (not ep.ep_accum) && not reads_out then Ok ()
+        else if List.mem_assoc tn data then Ok ()
+        else errf "no data given for tensor %s" tn)
+      (Ok ()) ep.ep_tensors
+  in
+  let use_staged =
+    match staged with
+    | Some b -> b
+    | None -> Env.bool_var ~default:true "DISTAL_STAGE"
+  in
+  let kmode = match kernels with Some m -> m | None -> Kreg.default_mode () in
+  (* Runs of one plan serialize: the arenas and the parked free lists are
+     per-plan state. Different plans run concurrently without contact. *)
+  Mutex.lock ep.ep_m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock ep.ep_m) @@ fun () ->
+  let pool = ep.ep_pool in
+  let out_global =
+    if ep.ep_accum then Dense.copy (List.assoc out_name data)
+    else Dense.create ep.ep_out_shape
+  in
+  let out_input = if reads_out then Some (List.assoc out_name data) else None in
+  let input_of tn = List.assoc tn data in
+  let npoints = Array.length ep.ep_dops in
+  (* Per-point merge contributions in flush order: (rect, view, block,
+     acquiring lane). Blocks outlive their task — they are released to
+     their lane's arena only after the serial merge reads them. *)
+  let contribs : (Rect.t * Dense.t * Buf_pool.buf * int) list array =
+    Array.make npoints []
+  in
+  let hpool = Pool.get ?size:domains () in
+  let lanes = max 1 (min (Pool.size hpool) npoints) in
+  Pool.run hpool ~lanes (fun lane ->
+      let arena = Buf_pool.arena pool lane in
+      let insts : (string, Rect.t * Dense.t * Buf_pool.buf) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      let read_inst : (Rect.t * Dense.t * Buf_pool.buf) option ref = ref None in
+      let env_tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
+      let acquire_view rect =
+        let b = Buf_pool.acquire pool arena (Rect.volume rect) in
+        (Dense.of_buf b (Rect.extents rect), b)
+      in
+      let buffer tn =
+        match Hashtbl.find_opt insts tn with
+        | Some (r, v, _) -> (r, v)
+        | None -> invalid_arg ("plan leaf executed without an instance of " ^ tn)
+      in
+      let run_leaf denv slices =
+        match ep.ep_named with
+        | Some (kernel, _) ->
+            (* Substituted kernel: replay the recorded slicing plan, run
+               the registry kernel, write a sliced output back. *)
+            let bufs =
+              List.map
+                (fun { ds_tensor; ds_local } ->
+                  let _, v = buffer ds_tensor in
+                  match ds_local with
+                  | None -> (v, None)
+                  | Some local ->
+                      let sb = Buf_pool.acquire pool arena (Rect.volume local) in
+                      let sv = Dense.of_buf sb (Rect.extents local) in
+                      Dense.extract_into ~src:v ~dst:sv local;
+                      (sv, Some (v, local, sb)))
+                slices
+            in
+            Kreg.run_named kmode ~kernel (List.map fst bufs);
+            (match (slices, bufs) with
+            | { ds_tensor; _ } :: _, (sv, Some (v, local, _)) :: _
+              when String.equal ds_tensor out_name ->
+                Dense.blit_into ~src:sv ~dst:v local
+            | _ -> ());
+            List.iter
+              (function
+                | _, Some (_, _, sb) -> Buf_pool.release pool arena sb
+                | _, None -> ())
+              bufs
+        | None ->
+            (* Scalar nest: staged fast path, generic oracle fallback —
+               the same gate, slot binding and loop as [execute]'s leaf,
+               so results stay bit-identical. *)
+            Hashtbl.reset env_tbl;
+            Array.iter (fun (v, x) -> Hashtbl.replace env_tbl v x) denv;
+            let env v = Hashtbl.find_opt env_tbl v in
+            let staged_done =
+              use_staged
+              &&
+              match ep.ep_staged with
+              | None -> false
+              | Some sp ->
+                  let slots = Expr_stage.slots sp in
+                  let nslots = Array.length slots in
+                  let inst_of i (a : Expr.access) =
+                    if
+                      i < nslots - 1 && reads_out
+                      && String.equal a.tensor out_name
+                    then
+                      match !read_inst with
+                      | Some (r, v, _) -> Some (r, v)
+                      | None -> None
+                    else
+                      match Hashtbl.find_opt insts a.tensor with
+                      | Some (r, v, _) -> Some (r, v)
+                      | None -> None
+                  in
+                  let sinsts = Array.mapi inst_of slots in
+                  Array.for_all Option.is_some sinsts
+                  && Expr_stage.run ~kernels:kmode sp ~env
+                       ~insts:(Array.map Option.get sinsts)
+            in
+            if not staged_done then begin
+              let vars_arr = Array.of_list ep.ep_leaf_vars in
+              let extents = Array.map (Provenance.extent prov) vars_arr in
+              let lookup (a : Expr.access) coord =
+                let r, v =
+                  if reads_out && String.equal a.tensor out_name then
+                    match !read_inst with
+                    | Some (r, v, _) -> (r, v)
+                    | None ->
+                        invalid_arg
+                          ("plan leaf executed without a read instance of "
+                         ^ out_name)
+                  else buffer a.tensor
+                in
+                let local =
+                  Array.mapi (fun d c -> c - (r : Rect.t).lo.(d)) coord
+                in
+                Dense.get v local
+              in
+              let out_rect, out_buf = buffer out_name in
+              Ints.iter_box extents (fun pt ->
+                  Array.iteri (fun i v -> Hashtbl.replace env_tbl v pt.(i)) vars_arr;
+                  if Provenance.guards_ok prov ~env then begin
+                    let point v =
+                      match Provenance.raw_point prov ~env v with
+                      | Some x -> x
+                      | None -> invalid_arg ("unbound index variable " ^ v)
+                    in
+                    let value = Expr.eval stmt ~lookup ~point in
+                    let coord = Array.of_list (List.map point stmt.lhs.indices) in
+                    let local =
+                      Array.mapi
+                        (fun d c -> c - (out_rect : Rect.t).lo.(d))
+                        coord
+                    in
+                    Dense.add_at out_buf local value
+                  end)
+            end
+      in
+      let lo = lane * npoints / lanes and hi = (lane + 1) * npoints / lanes in
+      for i = lo to hi - 1 do
+        let out_contribs = ref [] in
+        List.iter
+          (fun d ->
+            match d with
+            | D_inst { tensor; rect; role } -> (
+                match role with
+                | R_output ->
+                    (match Hashtbl.find_opt insts tensor with
+                    | Some (_, _, old) -> Buf_pool.release pool arena old
+                    | None -> ());
+                    let v, b = acquire_view rect in
+                    Dense.fill v 0.0;
+                    Hashtbl.replace insts tensor (rect, v, b)
+                | R_input ->
+                    (match Hashtbl.find_opt insts tensor with
+                    | Some (_, _, old) -> Buf_pool.release pool arena old
+                    | None -> ());
+                    let v, b = acquire_view rect in
+                    Dense.extract_into ~src:(input_of tensor) ~dst:v rect;
+                    Hashtbl.replace insts tensor (rect, v, b)
+                | R_read_out ->
+                    (match !read_inst with
+                    | Some (_, _, old) -> Buf_pool.release pool arena old
+                    | None -> ());
+                    let v, b = acquire_view rect in
+                    (match out_input with
+                    | Some src -> Dense.extract_into ~src ~dst:v rect
+                    | None -> ());
+                    read_inst := Some (rect, v, b))
+            | D_leaf { denv; slices } -> run_leaf denv slices
+            | D_flush -> (
+                match Hashtbl.find_opt insts out_name with
+                | Some (rect, v, b) ->
+                    Hashtbl.remove insts out_name;
+                    out_contribs := (rect, v, b, lane) :: !out_contribs
+                | None -> ()))
+          ep.ep_dops.(i);
+        contribs.(i) <- List.rev !out_contribs;
+        (* Input instances die with the task. *)
+        Hashtbl.iter (fun _ (_, _, b) -> Buf_pool.release pool arena b) insts;
+        Hashtbl.reset insts;
+        match !read_inst with
+        | Some (_, _, b) ->
+            Buf_pool.release pool arena b;
+            read_inst := None
+        | None -> ()
+      done);
+  (* Serial merge in launch-point order, flush order within a task — the
+     exact accumulation order [execute]'s effect replay uses, so outputs
+     are byte-identical. *)
+  for i = 0 to npoints - 1 do
+    List.iter
+      (fun (rect, v, b, lane) ->
+        if not (Rect.is_empty rect) then
+          Dense.accumulate_into ~src:v ~dst:out_global rect;
+        Buf_pool.release pool (Buf_pool.arena pool lane) b)
+      contribs.(i)
+  done;
+  ep.ep_runs <- ep.ep_runs + 1;
+  Ok { output = Some out_global; stats = plan_stats ep }
 
 (* {2 Redistribution} *)
 

@@ -130,6 +130,59 @@ val execute :
     [exec.checkpoint_time] but its results, traces and simulated times
     are likewise untouched (checkpoint writes overlap the run). *)
 
+(** {2 Compiled executable plans}
+
+    {!execute} re-derives the whole simulation — footprints, fetch plans,
+    coalesced communication, pricing — on every call, even though all of
+    it depends only on the spec, never on tensor contents. A compiled
+    executable plan splits that work: {!plan} runs the simulation once
+    (Model mode, stats byte-identical to a fresh run) while recording,
+    per launch point, the ordered data operations a Full-mode run
+    performs; {!run_plan} replays those operations against new tensor
+    data. Run-phase buffers — instance fragments, reduction partials,
+    kernel slices — come from a size-classed pool with per-lane arenas
+    ({!Distal_support.Buf_pool}, capped by [DISTAL_POOL_MB]), so a warm
+    run performs no per-fragment buffer allocation at all. *)
+
+type eplan
+(** A compiled executable plan for one (spec, coalesce, faults) triple. *)
+
+val plan :
+  ?coalesce:bool ->
+  ?faults:Distal_fault.Fault.t ->
+  spec ->
+  (eplan, string) Stdlib.result
+(** Compile the spec into an executable plan. [coalesce] and [faults]
+    affect only the plan-time stats ({!plan_stats}) — the replayed data
+    path is fault-oblivious, which is exact: {!execute}'s recovery
+    contract makes a killed-and-replayed run's output bit-identical to
+    the fault-free run. Fails exactly when {!execute} would (invalid
+    distributions, fault plans or substitutions). *)
+
+val run_plan :
+  ?domains:int ->
+  ?staged:bool ->
+  ?kernels:Distal_tensor.Kernel_registry.mode ->
+  eplan ->
+  data:(string * Distal_tensor.Dense.t) list ->
+  (result, string) Stdlib.result
+(** Execute the plan against [data]. The output is byte-identical to
+    [execute ~mode:Full] of the plan's spec on the same data, for every
+    [domains]/[staged]/[kernels] setting, every pool size and whatever
+    fault plan the plan was compiled with; the returned stats are a copy
+    of the plan-time stats. Runs of one plan serialize on an internal
+    lock (the buffer arenas are per-plan state); distinct plans run
+    concurrently. *)
+
+val plan_stats : eplan -> Stats.t
+(** Copy of the modeled per-run statistics fixed at plan time. *)
+
+val plan_runs : eplan -> int
+(** Completed {!run_plan} calls. *)
+
+val plan_pool_stats : eplan -> Distal_support.Buf_pool.stats
+(** Buffer-pool counters — steady state shows hits and no new allocs. *)
+
 val serial_reference :
   Distal_ir.Expr.stmt ->
   shapes:(string * int array) list ->

@@ -1,0 +1,169 @@
+(* Size-classed pool of float64 bigarray buffers with per-lane arenas.
+
+   The executor's run phase (lib/runtime/exec) materializes a fragment
+   buffer per communicate point per task; allocating those fresh on every
+   run is what made allocation-heavy lanes fight the OCaml 5 shared major
+   GC (and, for Bigarray payloads, malloc) instead of scaling. This pool
+   keeps the backing blocks alive across runs:
+
+   - capacities are rounded up to powers of two, so a buffer freed by a
+     fragment of one shape is reusable by any fragment whose volume lands
+     in the same class — the fragmentation-proof policy of classic slab
+     allocators;
+
+   - each pool lane owns an arena of free lists and touches only it
+     during the parallel probe, so acquire/release on the hot path is a
+     list cons with no lock and no cross-domain traffic;
+
+   - a mutex-guarded shared tier backstops the arenas: an arena miss
+     pulls from it before allocating fresh, so buffers migrate between
+     lanes when the lane count changes between runs.
+
+   The pool hands out raw [Bigarray.Array1] blocks (this library sits
+   below [Distal_tensor]); callers wrap them into tensor views. Blocks
+   live outside the OCaml heap, so parked buffers cost address space and
+   RSS but no GC work; [max_bytes] caps the total bytes parked across
+   arenas and the shared tier — a release that would exceed the cap drops
+   the buffer to the GC instead of parking it. *)
+
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* 2^0 .. 2^47 element classes: class [c] holds blocks of exactly [2^c]
+   elements. 2^47 * 8 bytes is far beyond any addressable tensor. *)
+let nclasses = 48
+
+(* Lane indices come from Distal_support.Pool, whose pools are capped at
+   64 domains; preallocating every arena keeps [arena] allocation-free
+   and safe to call concurrently from the lanes themselves. *)
+let max_lanes = 64
+
+type stats = {
+  allocs : int;  (** fresh bigarray allocations since [create] *)
+  alloc_bytes : float;  (** bytes of those allocations *)
+  hits : int;  (** acquisitions served from an arena or the shared tier *)
+  cached_bytes : float;  (** bytes currently parked in free lists *)
+  dropped : int;  (** releases discarded because [max_bytes] was reached *)
+}
+
+type arena = {
+  free : buf list array;  (* per class, owner-lane access only *)
+  owner : int;  (* lane index, for diagnostics *)
+}
+
+type t = {
+  arenas : arena array;
+  shared : buf list array;  (* per class, guarded by [m] *)
+  m : Mutex.t;
+  max_bytes : int;
+  (* Counters cross domains (lanes release concurrently), so they are
+     atomics, not plain ints. [cached] is advisory: the cap check reads
+     it without the lock, so the cap is approximate by design. *)
+  cached : int Atomic.t;
+  allocs : int Atomic.t;
+  alloc_bytes : int Atomic.t;
+  hits : int Atomic.t;
+  dropped : int Atomic.t;
+}
+
+let default_max_mb = 64
+
+let default_max_bytes () =
+  let mb =
+    match Env.non_negative_int_var "DISTAL_POOL_MB" with
+    | Some mb -> mb
+    | None -> default_max_mb
+  in
+  mb * 1024 * 1024
+
+let create ?max_bytes () =
+  let max_bytes =
+    match max_bytes with Some b -> max 0 b | None -> default_max_bytes ()
+  in
+  {
+    arenas =
+      Array.init max_lanes (fun owner ->
+          { free = Array.make nclasses []; owner });
+    shared = Array.make nclasses [];
+    m = Mutex.create ();
+    max_bytes;
+    cached = Atomic.make 0;
+    allocs = Atomic.make 0;
+    alloc_bytes = Atomic.make 0;
+    hits = Atomic.make 0;
+    dropped = Atomic.make 0;
+  }
+
+let arena t lane =
+  if lane < 0 || lane >= max_lanes then
+    invalid_arg
+      (Printf.sprintf "Buf_pool.arena: lane %d outside [0, %d)" lane max_lanes);
+  t.arenas.(lane)
+
+(* Smallest class whose capacity [2^c] holds [n] elements. *)
+let class_of n =
+  let c = ref 0 in
+  while 1 lsl !c < n do
+    incr c
+  done;
+  !c
+
+let class_bytes c = 8 * (1 lsl c)
+
+let alloc_class t c =
+  Atomic.incr t.allocs;
+  ignore (Atomic.fetch_and_add t.alloc_bytes (class_bytes c));
+  Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (1 lsl c)
+
+let acquire t arena n =
+  let c = class_of (max 1 n) in
+  match arena.free.(c) with
+  | b :: rest ->
+      arena.free.(c) <- rest;
+      ignore (Atomic.fetch_and_add t.cached (-class_bytes c));
+      Atomic.incr t.hits;
+      b
+  | [] -> (
+      Mutex.lock t.m;
+      match t.shared.(c) with
+      | b :: rest ->
+          t.shared.(c) <- rest;
+          Mutex.unlock t.m;
+          ignore (Atomic.fetch_and_add t.cached (-class_bytes c));
+          Atomic.incr t.hits;
+          b
+      | [] ->
+          Mutex.unlock t.m;
+          alloc_class t c)
+
+let release t arena b =
+  let n = Bigarray.Array1.dim b in
+  let c = class_of n in
+  (* Only blocks the pool itself sized (exact class capacities) are
+     parked; anything else would lie about its capacity on reuse. *)
+  if 1 lsl c <> n || Atomic.get t.cached + class_bytes c > t.max_bytes then
+    Atomic.incr t.dropped
+  else begin
+    arena.free.(c) <- b :: arena.free.(c);
+    ignore (Atomic.fetch_and_add t.cached (class_bytes c))
+  end
+
+let release_shared t b =
+  let n = Bigarray.Array1.dim b in
+  let c = class_of n in
+  if 1 lsl c <> n || Atomic.get t.cached + class_bytes c > t.max_bytes then
+    Atomic.incr t.dropped
+  else begin
+    Mutex.lock t.m;
+    t.shared.(c) <- b :: t.shared.(c);
+    Mutex.unlock t.m;
+    ignore (Atomic.fetch_and_add t.cached (class_bytes c))
+  end
+
+let stats t =
+  {
+    allocs = Atomic.get t.allocs;
+    alloc_bytes = float_of_int (Atomic.get t.alloc_bytes);
+    hits = Atomic.get t.hits;
+    cached_bytes = float_of_int (max 0 (Atomic.get t.cached));
+    dropped = Atomic.get t.dropped;
+  }

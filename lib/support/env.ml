@@ -96,6 +96,11 @@ let kernel_rate () =
   | Some _ -> malformed "DISTAL_KERNEL_RATE" "0" "a positive flop/s rate"
   | None -> None
 
+(* Executable-plan knobs (lib/runtime/exec, lib/distal/api,
+   lib/support/buf_pool). *)
+
+let plan_reuse () = bool_var ~default:true "DISTAL_PLAN_REUSE"
+
 (* Auto-scheduler knobs (lib/algorithms/auto, lib/machine/calibrate). *)
 
 let auto_cache () = non_negative_int_var "DISTAL_AUTO_CACHE"

@@ -61,6 +61,15 @@ val kernel_rate : unit -> float option
     kernel, overriding the calibration microbenchmarks — reproducible CI
     and what-if modelling of a different host. *)
 
+(** {2 Executable-plan knobs} *)
+
+val plan_reuse : unit -> bool
+(** [DISTAL_PLAN_REUSE] (default on): route Full-mode [Api.run] calls
+    through a cached executable plan ({!val-bool_var} semantics) — plan
+    once per (program x schedule x machine x options) and run against new
+    data with pooled buffers. [DISTAL_POOL_MB] (parsed by
+    {!Buf_pool.create}) caps the bytes each plan's buffer pool parks. *)
+
 (** {2 Auto-scheduler knobs} *)
 
 val auto_cache : unit -> int option

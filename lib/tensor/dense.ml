@@ -43,6 +43,37 @@ let add_lin t i v = t.data.{i} <- t.data.{i} +. v
 let unsafe_get t i = A1.unsafe_get t.data i
 let unsafe_set t i v = A1.unsafe_set t.data i v
 
+(* Rect-subset and shape preconditions raise [Invalid_argument] naming
+   the operation, the rect and the tensor shape (the [Kernels]
+   convention): a bad footprint must be diagnosable from the message
+   alone, and the checks must survive [-noassert] builds — they guard
+   raw [Array1.blit]/[unsafe_set] offset arithmetic. *)
+let shape_str shape =
+  "[" ^ String.concat "x" (List.map string_of_int (Array.to_list shape)) ^ "]"
+
+let check_subset fn r shape =
+  if not (Rect.subset r (Rect.full shape)) then
+    invalid_arg
+      (Printf.sprintf "Dense.%s: rect %s outside tensor shape %s" fn
+         (Rect.to_string r) (shape_str shape))
+
+let check_extents fn ~what got r =
+  if not (Ints.equal got (Rect.extents r)) then
+    invalid_arg
+      (Printf.sprintf "Dense.%s: %s shape %s does not match extents %s of rect %s"
+         fn what (shape_str got)
+         (shape_str (Rect.extents r))
+         (Rect.to_string r))
+
+let of_buf data shape =
+  let n = Ints.prod shape in
+  if A1.dim data < n then
+    invalid_arg
+      (Printf.sprintf "Dense.of_buf: buffer of %d elements cannot back shape %s"
+         (A1.dim data) (shape_str shape));
+  let data = if A1.dim data = n then data else A1.sub data 0 n in
+  { shape = Array.copy shape; strides = Ints.row_major_strides shape; data }
+
 let init shape f =
   let t = create shape in
   Ints.iter_box shape (fun c -> set t c (f c));
@@ -83,21 +114,27 @@ let rows_iter ~src_shape ~r f =
   end
 
 let extract t r =
-  assert (Rect.subset r (Rect.full t.shape));
+  check_subset "extract" r t.shape;
   let out = create (Rect.extents r) in
   rows_iter ~src_shape:t.shape ~r (fun soff doff len ->
       A1.blit (A1.sub t.data soff len) (A1.sub out.data doff len));
   out
 
+let extract_into ~src ~dst r =
+  check_subset "extract_into" r src.shape;
+  check_extents "extract_into" ~what:"destination" dst.shape r;
+  rows_iter ~src_shape:src.shape ~r (fun soff doff len ->
+      A1.blit (A1.sub src.data soff len) (A1.sub dst.data doff len))
+
 let blit_into ~src ~dst r =
-  assert (Rect.subset r (Rect.full dst.shape));
-  assert (Ints.equal (shape src) (Rect.extents r));
+  check_subset "blit_into" r dst.shape;
+  check_extents "blit_into" ~what:"source" src.shape r;
   rows_iter ~src_shape:dst.shape ~r (fun doff soff len ->
       A1.blit (A1.sub src.data soff len) (A1.sub dst.data doff len))
 
 let accumulate_into ~src ~dst r =
-  assert (Rect.subset r (Rect.full dst.shape));
-  assert (Ints.equal (shape src) (Rect.extents r));
+  check_subset "accumulate_into" r dst.shape;
+  check_extents "accumulate_into" ~what:"source" src.shape r;
   let s = src.data and d = dst.data in
   rows_iter ~src_shape:dst.shape ~r (fun doff soff len ->
       for i = 0 to len - 1 do

@@ -51,17 +51,33 @@ val copy : t -> t
 val random : Distal_support.Rng.t -> int array -> t
 (** Uniform entries in [\[0, 1)]. *)
 
+val of_buf : buf -> int array -> t
+(** [of_buf b shape] views the first [prod shape] elements of [b] as a
+    tensor of that shape, sharing storage — no copy. The bridge from
+    {!Distal_support.Buf_pool} blocks (whose power-of-two capacities may
+    exceed the shape) to tensor views; contents are whatever the block
+    holds. @raise Invalid_argument when [b] is too small. *)
+
 val extract : t -> Rect.t -> t
 (** [extract t r] copies the sub-box [r] of [t] into a fresh tensor whose
     shape is [Rect.extents r]. This models a runtime copy into a local
-    instance. Requires [r] inside [t]'s shape. *)
+    instance. @raise Invalid_argument when [r] is not inside [t]'s shape
+    (message carries the rect and the shape). *)
+
+val extract_into : src:t -> dst:t -> Rect.t -> unit
+(** Allocation-free {!extract}: copies the sub-box [r] of [src] into
+    [dst], which must be shaped [Rect.extents r]. The run phase's fill
+    for pooled instance buffers. @raise Invalid_argument on a rect
+    outside [src] or a destination shape mismatch. *)
 
 val blit_into : src:t -> dst:t -> Rect.t -> unit
 (** [blit_into ~src ~dst r] writes [src] (shaped [Rect.extents r]) into the
-    sub-box [r] of [dst]. *)
+    sub-box [r] of [dst]. @raise Invalid_argument on a rect outside [dst]
+    or a source shape mismatch. *)
 
 val accumulate_into : src:t -> dst:t -> Rect.t -> unit
-(** Like {!blit_into} but adds into the destination (reduction write-back). *)
+(** Like {!blit_into} but adds into the destination (reduction write-back).
+    @raise Invalid_argument on the same precondition violations. *)
 
 val map2 : (float -> float -> float) -> t -> t -> t
 val fold : ('a -> float -> 'a) -> 'a -> t -> 'a

@@ -59,6 +59,46 @@ let test_dense_extract_blit () =
   Dense.accumulate_into ~src:sub ~dst r;
   Alcotest.(check (float 0.0)) "accumulate" 46.0 (Dense.get dst [| 2; 3 |])
 
+(* Out-of-bounds rects and mismatched shapes must raise Invalid_argument
+   naming the operation, the rect and the shape — not trip an assert. *)
+let test_dense_invalid_args () =
+  let expect_invalid name needle f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument msg ->
+        let mentions s =
+          let n = String.length s and m = String.length msg in
+          let rec go i = i + n <= m && (String.sub msg i n = s || go (i + 1)) in
+          go 0
+        in
+        if not (mentions needle && mentions name) then
+          Alcotest.failf "%s: message %S lacks %S" name msg needle
+  in
+  let t = Dense.init [| 4; 4 |] (fun c -> float_of_int (c.(0) + c.(1))) in
+  let oob = rect [| 2; 2 |] [| 5; 4 |] in
+  expect_invalid "extract" "[2,5)x[2,4)" (fun () -> Dense.extract t oob);
+  let sub = Dense.create [| 2; 2 |] in
+  let inb = rect [| 0; 0 |] [| 2; 2 |] in
+  expect_invalid "blit_into" "[2,5)x[2,4)" (fun () ->
+      Dense.blit_into ~src:sub ~dst:t oob);
+  expect_invalid "accumulate_into" "[2,5)x[2,4)" (fun () ->
+      Dense.accumulate_into ~src:sub ~dst:t oob);
+  (* Shape/extent mismatch: a 2x2 rect against a 3x1 source. *)
+  let wrong = Dense.create [| 3; 1 |] in
+  expect_invalid "blit_into" "3x1" (fun () -> Dense.blit_into ~src:wrong ~dst:t inb);
+  expect_invalid "extract_into" "3x1" (fun () ->
+      Dense.extract_into ~src:t ~dst:wrong inb);
+  (* of_buf needs prod(shape) elements. *)
+  let b = Dense.unsafe_data (Dense.create [| 3 |]) in
+  expect_invalid "of_buf" "2x3" (fun () -> Dense.of_buf b [| 2; 3 |]);
+  (* And the happy paths still work on the same values. *)
+  let v = Dense.of_buf b [| 3 |] in
+  Dense.set v [| 1 |] 9.0;
+  Alcotest.(check (float 0.0)) "of_buf shares storage" 9.0
+    (Bigarray.Array1.get b 1);
+  Dense.extract_into ~src:t ~dst:sub (rect [| 1; 1 |] [| 3; 3 |]);
+  Alcotest.(check (float 0.0)) "extract_into" 4.0 (Dense.get sub [| 1; 1 |])
+
 let test_dense_scalar () =
   let t = Dense.create [||] in
   Alcotest.(check int) "size" 1 (Dense.size t);
@@ -188,6 +228,7 @@ let suites =
       [
         Alcotest.test_case "get/set" `Quick test_dense_get_set;
         Alcotest.test_case "extract/blit" `Quick test_dense_extract_blit;
+        Alcotest.test_case "invalid args" `Quick test_dense_invalid_args;
         Alcotest.test_case "scalar" `Quick test_dense_scalar;
         Alcotest.test_case "approx_equal" `Quick test_approx_equal;
         QCheck_alcotest.to_alcotest qcheck_extract_blit_roundtrip;
